@@ -1,0 +1,173 @@
+// Package blackdp is a discrete-event simulation study of BlackDP, the
+// Black Hole Detection Protocol for connected vehicles (Albouq and
+// Fredericks, ICDCS 2017).
+//
+// The package reproduces the paper's complete system from scratch: a
+// deterministic discrete-event engine, a clustered highway with Road Side
+// Units as cluster heads, an AODV routing stack, an IEEE 1609.2-style PKI
+// with pseudonymous certificates, single and cooperative black hole
+// attackers with the paper's evasive behaviours, and the BlackDP protocol
+// itself — source/destination verification, detection requests to trusted
+// RSUs, bait probing under disposable identities, and isolation through
+// certificate revocation and blacklists.
+//
+// The public API is scenario-oriented:
+//
+//	cfg := blackdp.DefaultConfig()       // the paper's Table I
+//	cfg.AttackerCluster = 4
+//	outcome, err := blackdp.Run(cfg)
+//
+// Experiment entry points regenerate the paper's evaluation: Fig4 sweeps
+// the attacker across clusters and reports detection accuracy and error
+// rates; Fig5 reproduces the per-scenario detection packet counts; TableI
+// returns the simulation parameters; CompareDetectors and RunConnector
+// reproduce the related-work comparison, including the connector topology
+// where sequence-number heuristics fail.
+package blackdp
+
+import (
+	"time"
+
+	"blackdp/internal/metrics"
+	"blackdp/internal/scenario"
+	"blackdp/internal/wire"
+)
+
+// Re-exported scenario types. See the scenario documentation on each.
+type (
+	// Config describes one simulation run (Table I defaults via
+	// DefaultConfig).
+	Config = scenario.Config
+	// AttackKind selects the adversary.
+	AttackKind = scenario.AttackKind
+	// World is a fully built simulation, for callers that need agent-level
+	// access before running.
+	World = scenario.World
+	// Outcome is the per-run result record.
+	Outcome = metrics.Outcome
+	// Summary aggregates outcomes into the paper's rates.
+	Summary = metrics.Summary
+	// Fig4Point is one attacker-cluster bar of Figure 4.
+	Fig4Point = scenario.Fig4Point
+	// Fig5Category enumerates Figure 5's scenario classes.
+	Fig5Category = scenario.Fig5Category
+	// Fig5Result is a measured Figure 5 data point.
+	Fig5Result = scenario.Fig5Result
+	// DetectorScore is one row of the detector comparison.
+	DetectorScore = scenario.DetectorScore
+	// ConnectorResult reports the connector-topology comparison.
+	ConnectorResult = scenario.ConnectorResult
+	// FogResult reports the RSU verification-bottleneck ablation.
+	FogResult = scenario.FogResult
+	// SeqNum is an AODV destination sequence number.
+	SeqNum = wire.SeqNum
+)
+
+// Attack kinds.
+const (
+	NoAttack             = scenario.NoAttack
+	SingleBlackHole      = scenario.SingleBlackHole
+	CooperativeBlackHole = scenario.CooperativeBlackHole
+)
+
+// Figure 5 categories.
+const (
+	Fig5NoAttackerLocal        = scenario.Fig5NoAttackerLocal
+	Fig5NoAttackerRemote       = scenario.Fig5NoAttackerRemote
+	Fig5SingleLocal            = scenario.Fig5SingleLocal
+	Fig5SingleMoved            = scenario.Fig5SingleMoved
+	Fig5SingleMovedRemote      = scenario.Fig5SingleMovedRemote
+	Fig5CooperativeLocal       = scenario.Fig5CooperativeLocal
+	Fig5CooperativeMoved       = scenario.Fig5CooperativeMoved
+	Fig5CooperativeMovedRemote = scenario.Fig5CooperativeMovedRemote
+)
+
+// DefaultConfig returns the paper's Table I simulation parameters with the
+// protocol defaults (verification on, ECDSA P-256 signatures, two trusted
+// authorities).
+func DefaultConfig() Config { return scenario.DefaultConfig() }
+
+// Run executes one simulation and returns its outcome.
+func Run(cfg Config) (Outcome, error) { return scenario.Run(cfg) }
+
+// RunMany executes reps runs with derived seeds; mutate, when non-nil,
+// adjusts each rep's config.
+func RunMany(cfg Config, reps int, mutate func(rep int, c *Config)) ([]Outcome, error) {
+	return scenario.RunMany(cfg, reps, mutate)
+}
+
+// Build constructs a world without running it, for agent-level inspection.
+func Build(cfg Config) (*World, error) { return scenario.Build(cfg) }
+
+// LoadConfig reads a JSON config file, layering it over DefaultConfig so
+// files only need the fields they change.
+func LoadConfig(path string) (Config, error) { return scenario.LoadConfig(path) }
+
+// SaveConfig writes a config as indented JSON.
+func SaveConfig(cfg Config, path string) error { return scenario.SaveConfig(cfg, path) }
+
+// Aggregate folds outcomes into accuracy/TP/FN/FP rates.
+func Aggregate(outcomes []Outcome) Summary { return metrics.Aggregate(outcomes) }
+
+// ByCluster groups outcomes per attacker cluster (Figure 4's x-axis).
+func ByCluster(outcomes []Outcome) map[int]Summary { return metrics.ByCluster(outcomes) }
+
+// Fig4 sweeps the attacker over every cluster for the given attack kind
+// with reps repetitions per cluster, enabling the paper's evasive
+// behaviours in the last three clusters.
+func Fig4(base Config, kind AttackKind, reps int) ([]Fig4Point, error) {
+	return scenario.RunFig4(base, kind, reps)
+}
+
+// Fig5 measures the detection-packet count of every Figure 5 scenario
+// class.
+func Fig5(seed int64) ([]Fig5Result, error) { return scenario.Fig5Series(seed) }
+
+// Fig5Categories lists the Figure 5 classes in presentation order.
+func Fig5Categories() []Fig5Category { return scenario.Fig5Categories() }
+
+// RunFig5 measures one Figure 5 scenario class.
+func RunFig5(cat Fig5Category, seed int64) (Fig5Result, error) {
+	return scenario.RunFig5(cat, seed)
+}
+
+// CompareDetectors scores the related-work sequence-number detectors and
+// BlackDP over reps identical scenarios.
+func CompareDetectors(cfg Config, reps int) ([]DetectorScore, error) {
+	return scenario.CompareDetectors(cfg, reps)
+}
+
+// RunConnector reproduces the paper's connector argument: the attacker
+// bridges two disconnected highway segments, so sequence-number heuristics
+// see a single uncomparable reply while BlackDP probes behaviour.
+func RunConnector(seed int64, seqBonus SeqNum) (ConnectorResult, error) {
+	return scenario.RunConnector(seed, seqBonus)
+}
+
+// RunFogAblation reproduces the paper's SIII-C limitation discussion: a
+// burst of simultaneous reports at one cluster head whose per-packet
+// authentication costs authCost, with fogNodes fog verifiers offloading
+// (the paper's proposed mitigation).
+func RunFogAblation(seed int64, reporters int, authCost time.Duration, fogNodes int) (FogResult, error) {
+	return scenario.RunFogAblation(seed, reporters, authCost, fogNodes)
+}
+
+// Parameter is one row of the paper's Table I.
+type Parameter struct {
+	Name  string
+	Value string
+}
+
+// TableI returns the simulation parameters exactly as the paper tabulates
+// them, alongside the corresponding DefaultConfig fields.
+func TableI() []Parameter {
+	return []Parameter{
+		{Name: "Vehicle speed", Value: "50-90km"},
+		{Name: "#Vehicles", Value: "100"},
+		{Name: "#RSUs (CHs)", Value: "10"},
+		{Name: "Transmission range", Value: "1000m"},
+		{Name: "Highway length", Value: "10km"},
+		{Name: "Highway width", Value: "200m"},
+		{Name: "Cluster length", Value: "1000m"},
+	}
+}

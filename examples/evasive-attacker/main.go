@@ -1,0 +1,38 @@
+// Evasive attacker: the paper's clusters 8-10, where attackers randomly act
+// legitimately under examination, renew their pseudonymous certificates
+// mid-detection, or flee the highway. Runs a batch per cluster and shows
+// accuracy collapsing toward the end of the highway while false positives
+// stay at zero — and that even undetected attackers usually fail to land
+// their attack (BlackDP "impedes" them, in the paper's words).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"blackdp"
+)
+
+func main() {
+	const reps = 20
+	fmt.Printf("Evasive black holes, %d runs per cluster (evasion active in 8-10)\n\n", reps)
+	fmt.Println("cluster  accuracy  false-neg  false-pos  blocked-anyway")
+	for _, cl := range []int{6, 7, 8, 9, 10} {
+		cfg := blackdp.DefaultConfig()
+		cfg.Seed = int64(1000 * cl)
+		cfg.AttackerCluster = cl
+		cfg.EvasiveClusters = []int{8, 9, 10}
+		outcomes, err := blackdp.RunMany(cfg, reps, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := blackdp.Aggregate(outcomes)
+		fmt.Printf("%7d  %7.0f%%  %8.0f%%  %8.0f%%  %d/%d\n",
+			cl, 100*s.Accuracy(), 100*s.FNRate(), 100*s.FPRate(),
+			s.PreventedOnly, s.FN)
+	}
+	fmt.Println("\nThe failure modes behind the false negatives mirror the paper's:")
+	fmt.Println("  - the suspect acts legitimately while the RSU probes it (cleared);")
+	fmt.Println("  - it renews its certificate, so probes chase a dead pseudonym;")
+	fmt.Println("  - in cluster 10 it flees the highway before examination completes.")
+}

@@ -1,0 +1,3 @@
+module blackdp
+
+go 1.22

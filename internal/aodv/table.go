@@ -1,0 +1,162 @@
+package aodv
+
+import (
+	"time"
+
+	"blackdp/internal/wire"
+)
+
+// Route is a forwarding-table entry.
+type Route struct {
+	Dest     wire.NodeID
+	NextHop  wire.NodeID
+	HopCount uint8
+	Seq      wire.SeqNum
+	Expiry   time.Duration
+	Valid    bool
+}
+
+// fresher reports whether a candidate (seq, hops) should replace the entry,
+// per AODV: strictly higher sequence number wins; an equal sequence number
+// wins on fewer hops; an invalid entry is always replaceable.
+func (r *Route) fresher(seq wire.SeqNum, hops uint8) bool {
+	if !r.Valid {
+		return true
+	}
+	if seq != r.Seq {
+		return seq > r.Seq
+	}
+	return hops < r.HopCount
+}
+
+// table is the routing table plus neighbour and flood-duplicate state.
+type table struct {
+	routes    map[wire.NodeID]*Route
+	neighbors map[wire.NodeID]time.Duration // last heard
+	floods    map[floodKey]time.Duration    // first seen
+}
+
+type floodKey struct {
+	origin wire.NodeID
+	id     uint32
+}
+
+func newTable() *table {
+	return &table{
+		routes:    make(map[wire.NodeID]*Route),
+		neighbors: make(map[wire.NodeID]time.Duration),
+		floods:    make(map[floodKey]time.Duration),
+	}
+}
+
+// lookup returns the valid, unexpired route to dest, if any.
+func (t *table) lookup(dest wire.NodeID, now time.Duration) (Route, bool) {
+	r, ok := t.routes[dest]
+	if !ok || !r.Valid || r.Expiry <= now {
+		return Route{}, false
+	}
+	return *r, true
+}
+
+// update installs or refreshes a route if the candidate is fresher,
+// reporting whether the table changed. Per RFC 3561, an invalid or expired
+// entry is always replaceable regardless of its recorded sequence number —
+// otherwise a black hole's inflated sequence number would veto legitimate
+// routes long after its forged entry lapsed.
+func (t *table) update(dest, nextHop wire.NodeID, hops uint8, seq wire.SeqNum, now, expiry time.Duration) bool {
+	r, ok := t.routes[dest]
+	if !ok {
+		t.routes[dest] = &Route{Dest: dest, NextHop: nextHop, HopCount: hops, Seq: seq, Expiry: expiry, Valid: true}
+		return true
+	}
+	live := r.Valid && r.Expiry > now
+	if live && !r.fresher(seq, hops) {
+		// Same-or-staler information still refreshes the timer when it
+		// confirms the installed next hop (any traffic arriving through
+		// that hop proves the link is alive).
+		if r.NextHop == nextHop && expiry > r.Expiry {
+			r.Expiry = expiry
+		}
+		return false
+	}
+	r.NextHop = nextHop
+	r.HopCount = hops
+	r.Seq = seq
+	r.Expiry = expiry
+	r.Valid = true
+	return true
+}
+
+// touch extends a route's lifetime on active use.
+func (t *table) touch(dest wire.NodeID, expiry time.Duration) {
+	if r, ok := t.routes[dest]; ok && r.Valid && expiry > r.Expiry {
+		r.Expiry = expiry
+	}
+}
+
+// invalidate marks the route to dest broken, returning the stale entry and
+// whether anything changed.
+func (t *table) invalidate(dest wire.NodeID) (Route, bool) {
+	r, ok := t.routes[dest]
+	if !ok || !r.Valid {
+		return Route{}, false
+	}
+	r.Valid = false
+	return *r, true
+}
+
+// invalidateVia breaks every valid route whose next hop is via, returning
+// the broken entries.
+func (t *table) invalidateVia(via wire.NodeID) []Route {
+	var broken []Route
+	for _, r := range t.routes {
+		if r.Valid && r.NextHop == via {
+			r.Valid = false
+			broken = append(broken, *r)
+		}
+	}
+	return broken
+}
+
+// heard records traffic from a neighbour.
+func (t *table) heard(n wire.NodeID, now time.Duration) {
+	t.neighbors[n] = now
+}
+
+// staleNeighbors returns neighbours silent past the timeout and forgets
+// them.
+func (t *table) staleNeighbors(now, timeout time.Duration) []wire.NodeID {
+	var stale []wire.NodeID
+	for n, last := range t.neighbors {
+		if now-last >= timeout {
+			stale = append(stale, n)
+			delete(t.neighbors, n)
+		}
+	}
+	return stale
+}
+
+// seenFlood records a flood identifier, reporting whether it was already
+// known (a duplicate to suppress).
+func (t *table) seenFlood(origin wire.NodeID, id uint32, now time.Duration) bool {
+	k := floodKey{origin: origin, id: id}
+	if _, dup := t.floods[k]; dup {
+		return true
+	}
+	t.floods[k] = now
+	return false
+}
+
+// prune drops expired invalid routes and aged flood-cache entries.
+func (t *table) prune(now, floodTTL time.Duration) {
+	for dest, r := range t.routes {
+		if r.Expiry+floodTTL <= now && (!r.Valid || r.Expiry <= now) {
+			delete(t.routes, dest)
+		}
+	}
+	for k, seen := range t.floods {
+		if now-seen >= floodTTL {
+			delete(t.floods, k)
+		}
+	}
+}

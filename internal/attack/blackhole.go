@@ -1,0 +1,328 @@
+// Package attack implements the paper's adversaries: single and cooperative
+// black hole vehicles, plus the evasive behaviours the evaluation enables in
+// clusters 8-10 (acting legitimately under examination, fleeing the highway,
+// and renewing the pseudonymous certificate mid-detection).
+//
+// A black hole node is a full, correctly registered vehicle — it joins
+// clusters and holds a valid certificate — whose routing behaviour is
+// hostile: it answers every route request instantly with a signed route
+// reply carrying an inflated destination sequence number (so its "route" is
+// always the freshest on offer) and silently drops every data packet
+// attracted onto it. The interceptor sits between the radio and the
+// vehicle's legitimate protocol stack, so "acting legitimately" is literally
+// handing the frame to the real AODV router.
+package attack
+
+import (
+	"time"
+
+	"blackdp/internal/radio"
+	"blackdp/internal/sim"
+	"blackdp/internal/wire"
+)
+
+// Profile configures a black hole's behaviour.
+type Profile struct {
+	// SeqBonus is added on top of the highest sequence number demanded or
+	// previously claimed, keeping the attacker's replies the freshest (the
+	// paper's attacker answers seq 0 with 250, then 251 with 300).
+	SeqBonus wire.SeqNum
+	// ClaimHops is the hop count claimed in forged replies (paper: 4).
+	ClaimHops uint8
+	// Teammate is the cooperative partner named when a reply is asked for
+	// its next hop; 0 for a single attacker.
+	Teammate wire.NodeID
+	// ReplyDelay is the forged reply's head start; black holes answer as
+	// fast as they can, so this should be near zero.
+	ReplyDelay time.Duration
+
+	// ActLegitProb is the per-request probability of handling a route
+	// request honestly instead of forging (evasion: "the attacker acted
+	// legitimately during the detection phase").
+	ActLegitProb float64
+	// FleeProb is the per-request probability of leaving the highway
+	// instead of answering (evasion: "the attacker fled from the network,
+	// specifically cluster 10").
+	FleeProb float64
+	// RenewProb is the per-request probability of renewing the certificate
+	// (changing pseudonym) instead of answering (evasion: "certificate
+	// renewal ... during the detection process").
+	RenewProb float64
+	// EvasiveWhen gates the three evasion draws; evasion applies only when
+	// it reports true (the experiment enables it for clusters 8-10). Nil
+	// means never evasive.
+	EvasiveWhen func() bool
+	// FakeHelloReplyProb is the probability of answering an end-to-end
+	// Hello probe with a forged reply claiming to be the destination,
+	// instead of staying silent (paper: "may reply with a fake Hello packet
+	// claiming that itself or the teammate attacker is the destination").
+	FakeHelloReplyProb float64
+	// SupportOnly marks a cooperative accomplice (the paper's B2): it forges
+	// replies only to next-hop-inquiry requests, endorsing its teammate's
+	// claim, and otherwise behaves legitimately so the victim's report names
+	// the primary attacker.
+	SupportOnly bool
+	// RenewCooldown is the minimum spacing between certificate renewals
+	// (identity churn is conspicuous, so even evasive attackers pace it).
+	// Zero means the 10 s default.
+	RenewCooldown time.Duration
+	// DropProb is the probability of dropping each attracted data packet.
+	// Zero (the default) and anything >= 1 mean the pure black hole: drop
+	// everything. Values strictly between 0 and 1 model a selective ("gray
+	// hole") dropper that lets some traffic through the legitimate stack
+	// to evade statistics-based detectors. BlackDP is indifferent: it
+	// convicts on route forgery, not on delivery ratios.
+	DropProb float64
+}
+
+// DefaultProfile returns an aggressive, non-evasive single black hole.
+func DefaultProfile() Profile {
+	return Profile{
+		SeqBonus:  120,
+		ClaimHops: 4,
+	}
+}
+
+// Env is what the interceptor needs from its host vehicle.
+type Env struct {
+	Sched *sim.Scheduler
+	RNG   *sim.RNG
+	// Send transmits on the vehicle's radio (link-ACK result ignored:
+	// black holes do not care whether their forgeries land).
+	Send func(to wire.NodeID, payload []byte) bool
+	// Self returns the current pseudonym.
+	Self func() wire.NodeID
+	// Cluster returns the current cluster registration.
+	Cluster func() wire.ClusterID
+	// Seal signs a forged packet with the attacker's (valid!) credential;
+	// nil sends forgeries unsigned.
+	Seal func(p wire.Packet) ([]byte, error)
+	// Inner is the vehicle's legitimate frame handler (router + membership);
+	// frames the attacker chooses not to subvert go here.
+	Inner func(f radio.Frame)
+	// Flee removes the vehicle from the highway (next off-ramp).
+	Flee func()
+	// Renew starts a certificate renewal (pseudonym change). May be nil.
+	Renew func()
+}
+
+// Stats counts hostile activity.
+type Stats struct {
+	RepliesForged       uint64
+	DataDropped         uint64
+	DataForwardedAnyway uint64 // gray hole leniency draws
+	ProbesSwallowed     uint64
+	FakeHelloSent       uint64
+	ActedLegit          uint64
+	Fled                uint64
+	Renewals            uint64
+}
+
+// Blackhole is the interception layer implementing the attack.
+type Blackhole struct {
+	profile Profile
+	env     Env
+
+	maxSeq      wire.SeqNum // highest seq seen or claimed so far
+	floods      map[floodKey]bool
+	lastRenewal time.Duration
+	renewedOnce bool
+	stats       Stats
+	fled        bool
+	stopped     bool
+}
+
+// floodKey identifies one route request for duplicate suppression: the
+// attacker answers each request once, however many rebroadcast copies reach
+// it.
+type floodKey struct {
+	origin wire.NodeID
+	id     uint32
+}
+
+// NewBlackhole creates the interceptor. Wire the radio's receive callback to
+// HandleFrame.
+func NewBlackhole(profile Profile, env Env) *Blackhole {
+	if env.Sched == nil || env.RNG == nil || env.Send == nil || env.Self == nil || env.Inner == nil {
+		panic("attack: NewBlackhole requires sched, rng, send, self and inner handler")
+	}
+	if profile.SeqBonus == 0 {
+		profile.SeqBonus = DefaultProfile().SeqBonus
+	}
+	if profile.RenewCooldown == 0 {
+		profile.RenewCooldown = 10 * time.Second
+	}
+	return &Blackhole{profile: profile, env: env, floods: make(map[floodKey]bool)}
+}
+
+// Stats returns a snapshot of hostile-activity counters.
+func (b *Blackhole) Stats() Stats { return b.stats }
+
+// Stop disables the interceptor (frames still reach the inner stack).
+func (b *Blackhole) Stop() { b.stopped = true }
+
+// Cooperative reports whether the attacker names a teammate.
+func (b *Blackhole) Cooperative() bool { return b.profile.Teammate != 0 }
+
+// HandleFrame is the radio receive entry point: hostile handling for route
+// requests, data and probes; everything else passes through to the
+// legitimate stack.
+func (b *Blackhole) HandleFrame(f radio.Frame) {
+	if b.stopped || b.fled {
+		b.env.Inner(f)
+		return
+	}
+	pkt, err := wire.Decode(f.Payload)
+	if err != nil {
+		return
+	}
+	if sec, ok := pkt.(*wire.Secure); ok {
+		inner, err := wire.Decode(sec.Inner)
+		if err != nil {
+			return
+		}
+		pkt = inner
+	}
+	switch p := pkt.(type) {
+	case *wire.RREQ:
+		b.handleRREQ(p, f)
+	case *wire.Data:
+		if p.Dest == b.env.Self() {
+			// Traffic genuinely for the attacker is consumed normally.
+			b.env.Inner(f)
+			return
+		}
+		if p := b.profile.DropProb; p > 0 && p < 1 && !b.env.RNG.Bool(p) {
+			// Gray hole leniency: let this one through the normal stack
+			// (which forwards it only if a genuine route exists).
+			b.stats.DataForwardedAnyway++
+			b.env.Inner(f)
+			return
+		}
+		b.stats.DataDropped++ // the black hole: attracted traffic vanishes
+	case *wire.Hello:
+		b.handleHello(p, f)
+	default:
+		b.env.Inner(f)
+	}
+}
+
+func (b *Blackhole) evasive() bool {
+	return b.profile.EvasiveWhen != nil && b.profile.EvasiveWhen()
+}
+
+func (b *Blackhole) canRenew() bool {
+	if b.env.Renew == nil {
+		return false
+	}
+	return !b.renewedOnce || b.env.Sched.Now()-b.lastRenewal >= b.profile.RenewCooldown
+}
+
+func (b *Blackhole) handleRREQ(p *wire.RREQ, f radio.Frame) {
+	if p.Origin == b.env.Self() {
+		return
+	}
+	if b.profile.SupportOnly && !p.WantNext {
+		// The accomplice keeps a clean profile until asked to vouch for a
+		// route.
+		b.env.Inner(f)
+		return
+	}
+	key := floodKey{origin: p.Origin, id: p.FloodID}
+	if b.floods[key] {
+		return // already answered (or evaded) this request; ignore copies
+	}
+	b.floods[key] = true
+	if p.DestSeq > b.maxSeq {
+		b.maxSeq = p.DestSeq
+	}
+	if b.evasive() {
+		switch {
+		case b.env.RNG.Bool(b.profile.ActLegitProb):
+			b.stats.ActedLegit++
+			b.env.Inner(f)
+			return
+		case b.env.RNG.Bool(b.profile.FleeProb):
+			b.stats.Fled++
+			b.fled = true
+			if b.env.Flee != nil {
+				b.env.Flee()
+			}
+			return
+		case b.env.RNG.Bool(b.profile.RenewProb) && b.canRenew():
+			b.stats.Renewals++
+			b.lastRenewal = b.env.Sched.Now()
+			b.renewedOnce = true
+			b.env.Renew()
+			return // identity is changing; answering as the old one helps no-one
+		}
+	}
+	// Forge: claim the freshest route to whatever was asked for.
+	b.maxSeq += b.profile.SeqBonus
+	rep := &wire.RREP{
+		Origin:        p.Origin,
+		Dest:          p.Dest,
+		DestSeq:       b.maxSeq,
+		HopCount:      b.profile.ClaimHops,
+		Lifetime:      time.Minute,
+		Issuer:        b.env.Self(),
+		IssuerCluster: b.clusterOf(),
+	}
+	if p.WantNext {
+		rep.NextHop = b.profile.Teammate
+	}
+	payload := b.seal(rep)
+	b.env.Sched.After(b.profile.ReplyDelay, func() {
+		if b.fled || b.stopped {
+			return
+		}
+		b.env.Send(f.From, payload)
+	})
+	b.stats.RepliesForged++
+}
+
+func (b *Blackhole) handleHello(p *wire.Hello, f radio.Frame) {
+	if p.Dest == wire.Broadcast {
+		b.env.Inner(f) // neighbour beacon: stay inconspicuous
+		return
+	}
+	if p.Dest != b.env.Self() && p.Origin != b.env.Self() {
+		// A routed verification probe has landed on us as next hop. We have
+		// no route to the real destination, so we cannot forward it; the
+		// choice is silence (let the prober time out) or a forged reply.
+		if b.env.RNG.Bool(b.profile.FakeHelloReplyProb) {
+			fake := &wire.Hello{
+				Origin: p.Dest, // impersonate the destination
+				Dest:   p.Origin,
+				Nonce:  p.Nonce,
+				Reply:  true,
+			}
+			b.env.Send(f.From, b.seal(fake))
+			b.stats.FakeHelloSent++
+			return
+		}
+		b.stats.ProbesSwallowed++
+		return
+	}
+	b.env.Inner(f)
+}
+
+func (b *Blackhole) clusterOf() wire.ClusterID {
+	if b.env.Cluster == nil {
+		return 0
+	}
+	return b.env.Cluster()
+}
+
+func (b *Blackhole) seal(p wire.Packet) []byte {
+	if b.env.Seal != nil {
+		if payload, err := b.env.Seal(p); err == nil {
+			return payload
+		}
+	}
+	payload, err := p.MarshalBinary()
+	if err != nil {
+		panic("attack: marshalling forged packet: " + err.Error())
+	}
+	return payload
+}

@@ -1,0 +1,328 @@
+package attack
+
+import (
+	"testing"
+	"time"
+
+	"blackdp/internal/radio"
+	"blackdp/internal/sim"
+	"blackdp/internal/wire"
+)
+
+// harness wires a Blackhole to recording fakes.
+type harness struct {
+	sched *sim.Scheduler
+	bh    *Blackhole
+	sent  []struct {
+		to  wire.NodeID
+		pkt wire.Packet
+	}
+	inner   []radio.Frame
+	fled    bool
+	renewed int
+}
+
+func newHarness(t *testing.T, p Profile) *harness {
+	t.Helper()
+	h := &harness{sched: sim.NewScheduler()}
+	env := Env{
+		Sched: h.sched,
+		RNG:   sim.NewRNG(11),
+		Send: func(to wire.NodeID, payload []byte) bool {
+			pkt, err := wire.Decode(payload)
+			if err != nil {
+				t.Fatalf("attacker sent undecodable payload: %v", err)
+			}
+			h.sent = append(h.sent, struct {
+				to  wire.NodeID
+				pkt wire.Packet
+			}{to, pkt})
+			return true
+		},
+		Self:    func() wire.NodeID { return 66 },
+		Cluster: func() wire.ClusterID { return 2 },
+		Inner:   func(f radio.Frame) { h.inner = append(h.inner, f) },
+		Flee:    func() { h.fled = true },
+		Renew:   func() { h.renewed++ },
+	}
+	h.bh = NewBlackhole(p, env)
+	return h
+}
+
+func frame(t *testing.T, from wire.NodeID, p wire.Packet) radio.Frame {
+	t.Helper()
+	b, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return radio.Frame{From: from, To: wire.Broadcast, Payload: b}
+}
+
+func TestForgesFreshestReply(t *testing.T) {
+	h := newHarness(t, DefaultProfile())
+	h.bh.HandleFrame(frame(t, 2, &wire.RREQ{FloodID: 1, Origin: 1, Dest: 7, DestSeq: 0, TTL: 10}))
+	h.sched.Run()
+	if len(h.sent) != 1 {
+		t.Fatalf("attacker sent %d packets, want 1 forged reply", len(h.sent))
+	}
+	rep, ok := h.sent[0].pkt.(*wire.RREP)
+	if !ok {
+		t.Fatalf("attacker sent %T, want RREP", h.sent[0].pkt)
+	}
+	if rep.DestSeq < 100 {
+		t.Errorf("forged seq = %d, want inflated (>=100)", rep.DestSeq)
+	}
+	if rep.Issuer != 66 || rep.Dest != 7 || rep.Origin != 1 {
+		t.Errorf("forged reply fields = %+v", rep)
+	}
+	if rep.IssuerCluster != 2 {
+		t.Errorf("forged reply cluster = %d, want 2", rep.IssuerCluster)
+	}
+	if h.sent[0].to != 2 {
+		t.Errorf("reply sent to %v, want the delivering neighbour 2", h.sent[0].to)
+	}
+	if h.bh.Stats().RepliesForged != 1 {
+		t.Errorf("RepliesForged = %d", h.bh.Stats().RepliesForged)
+	}
+}
+
+func TestSecondReplyAlwaysFresher(t *testing.T) {
+	// The AODV violation BlackDP catches: asked with DestSeq above its own
+	// previous claim, the attacker still answers with a higher number.
+	h := newHarness(t, DefaultProfile())
+	h.bh.HandleFrame(frame(t, 50, &wire.RREQ{FloodID: 1, Origin: 50, Dest: 10, DestSeq: 0, TTL: 1}))
+	h.sched.Run()
+	first := h.sent[0].pkt.(*wire.RREP).DestSeq
+
+	h.bh.HandleFrame(frame(t, 50, &wire.RREQ{FloodID: 2, Origin: 50, Dest: 10, DestSeq: first + 1, TTL: 1, WantNext: true}))
+	h.sched.Run()
+	second := h.sent[1].pkt.(*wire.RREP).DestSeq
+	if second <= first {
+		t.Errorf("second forged seq %d not above first %d", second, first)
+	}
+	if second <= first+1 {
+		t.Errorf("second forged seq %d does not exceed the demanded %d", second, first+1)
+	}
+}
+
+func TestCooperativeNamesTeammateOnlyWhenAsked(t *testing.T) {
+	p := DefaultProfile()
+	p.Teammate = 67
+	h := newHarness(t, p)
+	h.bh.HandleFrame(frame(t, 2, &wire.RREQ{FloodID: 1, Origin: 1, Dest: 7, TTL: 10}))
+	h.bh.HandleFrame(frame(t, 2, &wire.RREQ{FloodID: 2, Origin: 1, Dest: 7, TTL: 10, WantNext: true}))
+	h.sched.Run()
+	if got := h.sent[0].pkt.(*wire.RREP).NextHop; got != 0 {
+		t.Errorf("unasked reply named next hop %v", got)
+	}
+	if got := h.sent[1].pkt.(*wire.RREP).NextHop; got != 67 {
+		t.Errorf("asked reply named next hop %v, want teammate 67", got)
+	}
+	if !h.bh.Cooperative() {
+		t.Error("Cooperative() = false")
+	}
+}
+
+func TestDropsForeignData(t *testing.T) {
+	h := newHarness(t, DefaultProfile())
+	h.bh.HandleFrame(frame(t, 2, &wire.Data{Origin: 1, Dest: 7, SeqNo: 1, Payload: []byte("x")}))
+	h.sched.Run()
+	if len(h.sent) != 0 || len(h.inner) != 0 {
+		t.Error("attracted data was not silently dropped")
+	}
+	if h.bh.Stats().DataDropped != 1 {
+		t.Errorf("DataDropped = %d, want 1", h.bh.Stats().DataDropped)
+	}
+	// Data addressed to the attacker itself passes to the inner stack.
+	h.bh.HandleFrame(frame(t, 2, &wire.Data{Origin: 1, Dest: 66, SeqNo: 2}))
+	if len(h.inner) != 1 {
+		t.Error("data for the attacker itself did not reach the inner stack")
+	}
+}
+
+func TestGrayHoleDropsSelectively(t *testing.T) {
+	p := DefaultProfile()
+	p.DropProb = 0.5
+	h := newHarness(t, p)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		h.bh.HandleFrame(frame(t, 2, &wire.Data{Origin: 1, Dest: 7, SeqNo: uint32(i)}))
+	}
+	st := h.bh.Stats()
+	if st.DataDropped+st.DataForwardedAnyway != n {
+		t.Fatalf("dropped %d + forwarded %d != %d", st.DataDropped, st.DataForwardedAnyway, n)
+	}
+	frac := float64(st.DataDropped) / n
+	if frac < 0.45 || frac > 0.55 {
+		t.Errorf("drop fraction %v with DropProb 0.5", frac)
+	}
+	if int(st.DataForwardedAnyway) != len(h.inner) {
+		t.Errorf("forwarded %d but inner saw %d", st.DataForwardedAnyway, len(h.inner))
+	}
+}
+
+func TestPureBlackHoleIsDefault(t *testing.T) {
+	h := newHarness(t, DefaultProfile()) // DropProb zero value
+	for i := 0; i < 100; i++ {
+		h.bh.HandleFrame(frame(t, 2, &wire.Data{Origin: 1, Dest: 7, SeqNo: uint32(i)}))
+	}
+	st := h.bh.Stats()
+	if st.DataDropped != 100 || st.DataForwardedAnyway != 0 {
+		t.Errorf("default profile leaked data: %+v", st)
+	}
+}
+
+func TestSwallowsVerificationProbes(t *testing.T) {
+	h := newHarness(t, DefaultProfile())
+	h.bh.HandleFrame(frame(t, 1, &wire.Hello{Origin: 1, Dest: 7, Nonce: 5}))
+	h.sched.Run()
+	if len(h.sent) != 0 {
+		t.Errorf("attacker responded to a probe it cannot forward: %+v", h.sent)
+	}
+	if h.bh.Stats().ProbesSwallowed != 1 {
+		t.Errorf("ProbesSwallowed = %d", h.bh.Stats().ProbesSwallowed)
+	}
+}
+
+func TestFakeHelloReplyImpersonatesDestination(t *testing.T) {
+	p := DefaultProfile()
+	p.FakeHelloReplyProb = 1
+	h := newHarness(t, p)
+	h.bh.HandleFrame(frame(t, 1, &wire.Hello{Origin: 1, Dest: 7, Nonce: 5}))
+	h.sched.Run()
+	if len(h.sent) != 1 {
+		t.Fatalf("attacker sent %d packets, want 1 fake hello", len(h.sent))
+	}
+	fake, ok := h.sent[0].pkt.(*wire.Hello)
+	if !ok || !fake.Reply || fake.Origin != 7 || fake.Dest != 1 || fake.Nonce != 5 {
+		t.Errorf("fake hello = %+v", h.sent[0].pkt)
+	}
+	if h.bh.Stats().FakeHelloSent != 1 {
+		t.Errorf("FakeHelloSent = %d", h.bh.Stats().FakeHelloSent)
+	}
+}
+
+func TestBeaconsAndForeignPacketsPassThrough(t *testing.T) {
+	h := newHarness(t, DefaultProfile())
+	h.bh.HandleFrame(frame(t, 2, &wire.Hello{Origin: 2, Dest: wire.Broadcast}))
+	h.bh.HandleFrame(frame(t, 1002, &wire.JoinRep{Head: 1002, Cluster: 2, Vehicle: 66}))
+	h.bh.HandleFrame(frame(t, 1002, &wire.BlacklistNotice{Head: 1002, Cluster: 2}))
+	if len(h.inner) != 3 {
+		t.Errorf("inner stack saw %d frames, want 3", len(h.inner))
+	}
+	if len(h.sent) != 0 {
+		t.Errorf("attacker reacted to benign packets: %d sends", len(h.sent))
+	}
+}
+
+func TestActLegitPassesRREQToInnerStack(t *testing.T) {
+	p := DefaultProfile()
+	p.ActLegitProb = 1
+	p.EvasiveWhen = func() bool { return true }
+	h := newHarness(t, p)
+	h.bh.HandleFrame(frame(t, 2, &wire.RREQ{FloodID: 1, Origin: 1, Dest: 7, TTL: 10}))
+	h.sched.Run()
+	if len(h.sent) != 0 {
+		t.Error("evasive attacker still forged a reply")
+	}
+	if len(h.inner) != 1 {
+		t.Error("legit handling did not reach the inner stack")
+	}
+	if h.bh.Stats().ActedLegit != 1 {
+		t.Errorf("ActedLegit = %d", h.bh.Stats().ActedLegit)
+	}
+}
+
+func TestEvasionGatedByEvasiveWhen(t *testing.T) {
+	p := DefaultProfile()
+	p.ActLegitProb = 1
+	p.EvasiveWhen = func() bool { return false } // e.g. attacker in clusters 1-7
+	h := newHarness(t, p)
+	h.bh.HandleFrame(frame(t, 2, &wire.RREQ{FloodID: 1, Origin: 1, Dest: 7, TTL: 10}))
+	h.sched.Run()
+	if len(h.sent) != 1 {
+		t.Error("non-evasive attacker did not forge")
+	}
+}
+
+func TestFleeStopsAttacking(t *testing.T) {
+	p := DefaultProfile()
+	p.FleeProb = 1
+	p.EvasiveWhen = func() bool { return true }
+	h := newHarness(t, p)
+	h.bh.HandleFrame(frame(t, 2, &wire.RREQ{FloodID: 1, Origin: 1, Dest: 7, TTL: 10}))
+	h.sched.Run()
+	if !h.fled {
+		t.Fatal("Flee hook not invoked")
+	}
+	if len(h.sent) != 0 {
+		t.Error("fleeing attacker still replied")
+	}
+	// After fleeing, everything passes through untouched.
+	h.bh.HandleFrame(frame(t, 2, &wire.Data{Origin: 1, Dest: 7}))
+	if h.bh.Stats().DataDropped != 0 {
+		t.Error("fled attacker still dropping data")
+	}
+}
+
+func TestRenewTriggersIdentityChange(t *testing.T) {
+	p := DefaultProfile()
+	p.RenewProb = 1
+	p.EvasiveWhen = func() bool { return true }
+	h := newHarness(t, p)
+	h.bh.HandleFrame(frame(t, 2, &wire.RREQ{FloodID: 1, Origin: 1, Dest: 7, TTL: 10}))
+	h.sched.Run()
+	if h.renewed != 1 {
+		t.Fatalf("Renew hook invoked %d times, want 1", h.renewed)
+	}
+	if len(h.sent) != 0 {
+		t.Error("renewing attacker still replied under the old identity")
+	}
+}
+
+func TestStoppedInterceptorPassesEverything(t *testing.T) {
+	h := newHarness(t, DefaultProfile())
+	h.bh.Stop()
+	h.bh.HandleFrame(frame(t, 2, &wire.RREQ{FloodID: 1, Origin: 1, Dest: 7, TTL: 10}))
+	h.bh.HandleFrame(frame(t, 2, &wire.Data{Origin: 1, Dest: 7}))
+	if len(h.inner) != 2 {
+		t.Errorf("inner saw %d frames after Stop, want 2", len(h.inner))
+	}
+	if len(h.sent) != 0 {
+		t.Error("stopped attacker forged a reply")
+	}
+}
+
+func TestIgnoresOwnEchoedFlood(t *testing.T) {
+	h := newHarness(t, DefaultProfile())
+	h.bh.HandleFrame(frame(t, 2, &wire.RREQ{FloodID: 1, Origin: 66, Dest: 7, TTL: 10}))
+	h.sched.Run()
+	if len(h.sent) != 0 {
+		t.Error("attacker replied to its own flood")
+	}
+}
+
+func TestReplyDelayHonoured(t *testing.T) {
+	p := DefaultProfile()
+	p.ReplyDelay = 5 * time.Millisecond
+	h := newHarness(t, p)
+	h.bh.HandleFrame(frame(t, 2, &wire.RREQ{FloodID: 1, Origin: 1, Dest: 7, TTL: 10}))
+	if len(h.sent) != 0 {
+		t.Error("reply sent before the configured delay")
+	}
+	h.sched.Run()
+	if len(h.sent) != 1 {
+		t.Error("reply never sent")
+	}
+	if h.sched.Now() != 5*time.Millisecond {
+		t.Errorf("reply at %v, want 5ms", h.sched.Now())
+	}
+}
+
+func TestCorruptFrameIgnored(t *testing.T) {
+	h := newHarness(t, DefaultProfile())
+	h.bh.HandleFrame(radio.Frame{From: 2, Payload: []byte{0xff, 0x01}})
+	if len(h.inner) != 0 || len(h.sent) != 0 {
+		t.Error("corrupt frame produced activity")
+	}
+}

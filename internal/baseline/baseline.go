@@ -1,0 +1,206 @@
+// Package baseline implements the sequence-number-based black hole
+// detectors the paper compares against in related work (SV-A): source-side
+// heuristics that inspect the route replies a discovery collected and flag
+// issuers whose sequence numbers look implausible.
+//
+//   - FirstReply (Jaiswal et al.): compare the first reply's sequence
+//     number against the rest; a large gap marks its issuer malicious.
+//   - Peak (Jhaveri et al.): maintain a running estimate of the maximum
+//     plausible sequence number; replies above it are malicious.
+//   - StaticThreshold (Tan et al.): a fixed per-environment threshold.
+//
+// All three fail in the paper's connector topology — a single attacker
+// bridging two highway segments produces exactly one (forged) reply, so
+// comparison-based methods have nothing to compare and threshold methods
+// miss attackers that inflate moderately. BlackDP's behavioural probing
+// (package core) detects those cases; the benchmark harness quantifies the
+// difference.
+package baseline
+
+import (
+	"fmt"
+
+	"blackdp/internal/aodv"
+	"blackdp/internal/wire"
+)
+
+// Detector is a source-side black hole classifier over one discovery's
+// replies.
+type Detector interface {
+	// Name identifies the detector in reports.
+	Name() string
+	// Suspects returns the issuers judged malicious among the candidates.
+	Suspects(cands []aodv.Candidate) []wire.NodeID
+}
+
+// FirstReply implements Jaiswal et al.: the black hole answers fastest, so
+// compare the first reply's sequence number with the remaining replies; if
+// it exceeds the best of the rest by more than Gap, flag its issuer. With
+// fewer than two replies it cannot decide.
+type FirstReply struct {
+	// Gap is the sequence-number margin that counts as implausible.
+	Gap wire.SeqNum
+}
+
+var _ Detector = FirstReply{}
+
+// Name implements Detector.
+func (d FirstReply) Name() string { return "first-reply-comparison" }
+
+// Suspects implements Detector.
+func (d FirstReply) Suspects(cands []aodv.Candidate) []wire.NodeID {
+	if len(cands) < 2 {
+		return nil
+	}
+	gap := d.Gap
+	if gap == 0 {
+		gap = 50
+	}
+	first := earliest(cands)
+	var restMax wire.SeqNum
+	for i := range cands {
+		if i == first {
+			continue
+		}
+		if s := cands[i].RREP.DestSeq; s > restMax {
+			restMax = s
+		}
+	}
+	if cands[first].RREP.DestSeq > restMax+gap {
+		return []wire.NodeID{cands[first].RREP.Issuer}
+	}
+	return nil
+}
+
+func earliest(cands []aodv.Candidate) int {
+	best := 0
+	for i := range cands {
+		if cands[i].At < cands[best].At {
+			best = i
+		}
+	}
+	return best
+}
+
+// Peak implements Jhaveri et al.: track the highest legitimate sequence
+// number observed so far and allow for bounded growth; replies beyond the
+// moving peak are malicious. The detector is stateful across discoveries.
+type Peak struct {
+	// Headroom is the allowed growth above the learned peak.
+	Headroom wire.SeqNum
+
+	peak wire.SeqNum
+}
+
+var _ Detector = (*Peak)(nil)
+
+// NewPeak creates a peak detector with the given headroom (0 means 60).
+func NewPeak(headroom wire.SeqNum) *Peak {
+	if headroom == 0 {
+		headroom = 60
+	}
+	return &Peak{Headroom: headroom}
+}
+
+// Name implements Detector.
+func (d *Peak) Name() string { return "dynamic-peak" }
+
+// Suspects implements Detector. Replies below the peak also teach it the
+// current legitimate ceiling.
+func (d *Peak) Suspects(cands []aodv.Candidate) []wire.NodeID {
+	limit := d.peak + d.Headroom
+	var out []wire.NodeID
+	for i := range cands {
+		s := cands[i].RREP.DestSeq
+		if s > limit {
+			out = append(out, cands[i].RREP.Issuer)
+			continue
+		}
+		if s > d.peak {
+			d.peak = s
+		}
+	}
+	return out
+}
+
+// Peak exposes the learned ceiling (for tests and reports).
+func (d *Peak) PeakValue() wire.SeqNum { return d.peak }
+
+// Environment sizes for StaticThreshold, per Tan et al.
+type Environment int
+
+// Environments.
+const (
+	SmallEnv Environment = iota + 1
+	MediumEnv
+	LargeEnv
+)
+
+// StaticThreshold implements Tan et al.: one fixed threshold per
+// environment size; any reply whose sequence number exceeds it is judged
+// malicious and discarded.
+type StaticThreshold struct {
+	Env Environment
+}
+
+var _ Detector = StaticThreshold{}
+
+// Name implements Detector.
+func (d StaticThreshold) Name() string { return "static-threshold" }
+
+// Threshold returns the cut-off for the configured environment.
+func (d StaticThreshold) Threshold() wire.SeqNum {
+	switch d.Env {
+	case SmallEnv:
+		return 100
+	case LargeEnv:
+		return 1000
+	default:
+		return 400
+	}
+}
+
+// Suspects implements Detector.
+func (d StaticThreshold) Suspects(cands []aodv.Candidate) []wire.NodeID {
+	limit := d.Threshold()
+	var out []wire.NodeID
+	for i := range cands {
+		if cands[i].RREP.DestSeq > limit {
+			out = append(out, cands[i].RREP.Issuer)
+		}
+	}
+	return out
+}
+
+// All returns one fresh instance of every baseline detector.
+func All() []Detector {
+	return []Detector{FirstReply{}, NewPeak(0), StaticThreshold{Env: MediumEnv}}
+}
+
+// Evaluation is the outcome of judging one discovery with one detector
+// against ground truth.
+type Evaluation struct {
+	Detector string
+	Flagged  []wire.NodeID
+	Hit      bool // the actual attacker was flagged
+	FalsePos int  // innocent issuers flagged
+}
+
+// Evaluate judges the candidates with det given the actual attacker (0 if
+// none).
+func Evaluate(det Detector, cands []aodv.Candidate, attacker wire.NodeID) Evaluation {
+	flagged := det.Suspects(cands)
+	ev := Evaluation{Detector: det.Name(), Flagged: flagged}
+	for _, id := range flagged {
+		if id == attacker && attacker != 0 {
+			ev.Hit = true
+		} else {
+			ev.FalsePos++
+		}
+	}
+	return ev
+}
+
+func (e Evaluation) String() string {
+	return fmt.Sprintf("%s: flagged=%v hit=%v fp=%d", e.Detector, e.Flagged, e.Hit, e.FalsePos)
+}

@@ -1,0 +1,140 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"blackdp/internal/aodv"
+	"blackdp/internal/wire"
+)
+
+func cand(issuer wire.NodeID, seq wire.SeqNum, at time.Duration) aodv.Candidate {
+	return aodv.Candidate{
+		RREP: wire.RREP{Issuer: issuer, DestSeq: seq},
+		At:   at,
+	}
+}
+
+func TestFirstReplyFlagsFastInflatedReply(t *testing.T) {
+	// Attacker answers first with a huge SN; honest replies trickle in.
+	cands := []aodv.Candidate{
+		cand(66, 250, 10*time.Millisecond),
+		cand(4, 75, 40*time.Millisecond),
+		cand(3, 20, 60*time.Millisecond),
+	}
+	got := FirstReply{}.Suspects(cands)
+	if len(got) != 1 || got[0] != 66 {
+		t.Errorf("Suspects = %v, want [66]", got)
+	}
+}
+
+func TestFirstReplyAcceptsHonestFirstReply(t *testing.T) {
+	cands := []aodv.Candidate{
+		cand(4, 80, 10*time.Millisecond),
+		cand(3, 75, 40*time.Millisecond),
+	}
+	if got := (FirstReply{}).Suspects(cands); len(got) != 0 {
+		t.Errorf("honest fast replier flagged: %v", got)
+	}
+}
+
+func TestFirstReplyBlindWithSingleReply(t *testing.T) {
+	// The paper's connector case: the attacker is the only replier. The
+	// comparison method has nothing to compare and misses it.
+	cands := []aodv.Candidate{cand(66, 5000, 10*time.Millisecond)}
+	if got := (FirstReply{}).Suspects(cands); len(got) != 0 {
+		t.Errorf("single-reply case should be undecidable, got %v", got)
+	}
+}
+
+func TestFirstReplyUsesArrivalOrderNotSliceOrder(t *testing.T) {
+	cands := []aodv.Candidate{
+		cand(4, 75, 40*time.Millisecond),
+		cand(66, 250, 10*time.Millisecond), // earliest, though listed second
+	}
+	got := FirstReply{}.Suspects(cands)
+	if len(got) != 1 || got[0] != 66 {
+		t.Errorf("Suspects = %v, want [66]", got)
+	}
+}
+
+func TestPeakLearnsAndFlags(t *testing.T) {
+	d := NewPeak(60)
+	// Honest traffic teaches the ceiling.
+	if got := d.Suspects([]aodv.Candidate{cand(4, 50, 0), cand(3, 40, 0)}); len(got) != 0 {
+		t.Fatalf("honest replies flagged: %v", got)
+	}
+	if d.PeakValue() != 50 {
+		t.Fatalf("peak = %d, want 50", d.PeakValue())
+	}
+	// An attacker far above peak+headroom is flagged.
+	got := d.Suspects([]aodv.Candidate{cand(66, 500, 0), cand(4, 60, 0)})
+	if len(got) != 1 || got[0] != 66 {
+		t.Errorf("Suspects = %v, want [66]", got)
+	}
+	// The flagged value must not poison the peak.
+	if d.PeakValue() != 60 {
+		t.Errorf("peak = %d after attack, want 60", d.PeakValue())
+	}
+}
+
+func TestPeakMissesModestInflation(t *testing.T) {
+	// A patient attacker staying within the headroom evades the peak
+	// detector; BlackDP's behavioural probe does not care about magnitude.
+	d := NewPeak(60)
+	d.Suspects([]aodv.Candidate{cand(4, 50, 0)})
+	got := d.Suspects([]aodv.Candidate{cand(66, 100, 0)})
+	if len(got) != 0 {
+		t.Errorf("modest inflation flagged (peak method should miss it): %v", got)
+	}
+}
+
+func TestStaticThresholds(t *testing.T) {
+	tests := []struct {
+		env  Environment
+		want wire.SeqNum
+	}{
+		{SmallEnv, 100}, {MediumEnv, 400}, {LargeEnv, 1000}, {Environment(0), 400},
+	}
+	for _, tt := range tests {
+		if got := (StaticThreshold{Env: tt.env}).Threshold(); got != tt.want {
+			t.Errorf("Threshold(%v) = %d, want %d", tt.env, got, tt.want)
+		}
+	}
+
+	d := StaticThreshold{Env: MediumEnv}
+	got := d.Suspects([]aodv.Candidate{cand(66, 500, 0), cand(4, 80, 0)})
+	if len(got) != 1 || got[0] != 66 {
+		t.Errorf("Suspects = %v, want [66]", got)
+	}
+	if got := d.Suspects([]aodv.Candidate{cand(66, 399, 0)}); len(got) != 0 {
+		t.Errorf("below-threshold attacker flagged: %v", got)
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	cands := []aodv.Candidate{cand(66, 500, 0), cand(4, 80, 0)}
+	ev := Evaluate(StaticThreshold{Env: MediumEnv}, cands, 66)
+	if !ev.Hit || ev.FalsePos != 0 {
+		t.Errorf("evaluation = %+v", ev)
+	}
+	// Same detector, innocent flagged (no attacker present).
+	ev = Evaluate(StaticThreshold{Env: SmallEnv}, []aodv.Candidate{cand(4, 150, 0)}, 0)
+	if ev.Hit || ev.FalsePos != 1 {
+		t.Errorf("evaluation = %+v", ev)
+	}
+}
+
+func TestAllReturnsThreeDetectors(t *testing.T) {
+	ds := All()
+	if len(ds) != 3 {
+		t.Fatalf("All() = %d detectors, want 3", len(ds))
+	}
+	seen := map[string]bool{}
+	for _, d := range ds {
+		if seen[d.Name()] {
+			t.Errorf("duplicate detector %q", d.Name())
+		}
+		seen[d.Name()] = true
+	}
+}

@@ -1,0 +1,52 @@
+// Package core implements BlackDP, the paper's contribution: source and
+// destination verification at legitimate vehicles, detection requests
+// (d_req) to trusted Road Side Units, suspicious-node examination by bait
+// probing under a disposable identity, cooperative-attacker exposure, and
+// isolation via certificate revocation and blacklist dissemination.
+//
+// Three agents cooperate:
+//
+//   - VehicleAgent: a legitimate vehicle. It runs AODV plus the BlackDP
+//     verification layer — it authenticates route replies, probes claimed
+//     routes end to end with signed Hello packets, and files a d_req with
+//     its cluster head when a route issuer behaves suspiciously.
+//   - HeadAgent: an RSU cluster head. It manages cluster membership,
+//     relays AODV traffic, examines reported suspects with fake route
+//     requests from a disposable identity, confirms the AODV sequence-
+//     number violation, chases named teammates, and isolates attackers.
+//   - AuthorityAgent: a Trusted Authority node on the wired backbone. It
+//     issues and renews pseudonymous certificates, processes revocation
+//     requests, pauses renewals for revoked identities, and fans out
+//     revocation notices to peer authorities and cluster heads.
+package core
+
+import (
+	"blackdp/internal/cluster"
+	"blackdp/internal/mobility"
+	"blackdp/internal/pki"
+	"blackdp/internal/radio"
+	"blackdp/internal/sim"
+	"blackdp/internal/trace"
+)
+
+// Env bundles the simulation-wide facilities every agent needs. One Env is
+// shared by all agents of a run.
+type Env struct {
+	Sched    *sim.Scheduler
+	RNG      *sim.RNG
+	Trust    *pki.TrustStore
+	Scheme   pki.Scheme
+	Dir      *cluster.Directory
+	Highway  *mobility.Highway
+	Medium   *radio.Medium
+	Backbone *radio.Backbone
+	Tracer   *trace.Recorder // nil disables tracing
+	Tally    *Tally          // nil disables detection-packet accounting
+}
+
+func (e *Env) check() {
+	if e.Sched == nil || e.RNG == nil || e.Trust == nil || e.Scheme == nil ||
+		e.Dir == nil || e.Highway == nil || e.Medium == nil || e.Backbone == nil {
+		panic("core: Env is missing required facilities")
+	}
+}

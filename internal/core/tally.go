@@ -1,0 +1,149 @@
+package core
+
+import (
+	"time"
+
+	"blackdp/internal/wire"
+)
+
+// CaseTally counts the packets one detection case consumed, reproducing the
+// accounting behind the paper's Figure 5 ("number of detection packets
+// needed by BlackDP through RSU (CH)"). Detection packets are everything
+// from the d_req to the verdict delivery; isolation traffic (revocation and
+// blacklist fan-out) is tallied separately because the paper's figure counts
+// only detection.
+type CaseTally struct {
+	Suspect wire.NodeID
+
+	DReqSent      int // reporter -> its cluster head (radio)
+	DReqForwarded int // head -> head hand-offs (backbone)
+	ProbesSent    int // bait RREQs from the disposable identity (incl. retries, teammate)
+	ProbeReplies  int // suspect/teammate replies to bait probes
+	RespBackbone  int // verdict relayed between heads (backbone)
+	RespRadio     int // verdict delivered to a reporter (radio)
+
+	IsolationPackets int // revocation requests/notices and blacklist broadcasts
+
+	Verdict    wire.Verdict
+	Teammate   wire.NodeID
+	ReportedAt time.Duration
+	ResolvedAt time.Duration
+}
+
+// DetectionPackets returns the Figure 5 quantity for this case.
+func (c *CaseTally) DetectionPackets() int {
+	return c.DReqSent + c.DReqForwarded + c.ProbesSent + c.ProbeReplies + c.RespBackbone + c.RespRadio
+}
+
+// Tally aggregates detection accounting across a run, keyed by suspect. All
+// methods are safe on a nil receiver (accounting disabled).
+type Tally struct {
+	cases map[wire.NodeID]*CaseTally
+	order []wire.NodeID
+}
+
+// NewTally returns an empty tally.
+func NewTally() *Tally {
+	return &Tally{cases: make(map[wire.NodeID]*CaseTally)}
+}
+
+// Case returns the per-suspect tally, creating it on first use. It returns
+// nil on a nil tally.
+func (t *Tally) Case(suspect wire.NodeID) *CaseTally {
+	if t == nil {
+		return nil
+	}
+	c, ok := t.cases[suspect]
+	if !ok {
+		c = &CaseTally{Suspect: suspect}
+		t.cases[suspect] = c
+		t.order = append(t.order, suspect)
+	}
+	return c
+}
+
+// Lookup returns the per-suspect tally without creating it.
+func (t *Tally) Lookup(suspect wire.NodeID) (*CaseTally, bool) {
+	if t == nil {
+		return nil, false
+	}
+	c, ok := t.cases[suspect]
+	return c, ok
+}
+
+// Cases returns every case in first-report order.
+func (t *Tally) Cases() []*CaseTally {
+	if t == nil {
+		return nil
+	}
+	out := make([]*CaseTally, 0, len(t.order))
+	for _, id := range t.order {
+		out = append(out, t.cases[id])
+	}
+	return out
+}
+
+// TotalDetectionPackets sums DetectionPackets over all cases.
+func (t *Tally) TotalDetectionPackets() int {
+	n := 0
+	for _, c := range t.Cases() {
+		n += c.DetectionPackets()
+	}
+	return n
+}
+
+// Merge links a teammate's case into the primary suspect's tally: teammate
+// probes are part of the cooperative detection (the paper's "additional two
+// packets").
+func (c *CaseTally) addProbe() {
+	if c != nil {
+		c.ProbesSent++
+	}
+}
+
+func (c *CaseTally) addProbeReply() {
+	if c != nil {
+		c.ProbeReplies++
+	}
+}
+
+func (c *CaseTally) addDReq(at time.Duration) {
+	if c != nil {
+		c.DReqSent++
+		if c.ReportedAt == 0 {
+			c.ReportedAt = at
+		}
+	}
+}
+
+func (c *CaseTally) addForward() {
+	if c != nil {
+		c.DReqForwarded++
+	}
+}
+
+func (c *CaseTally) addRespBackbone() {
+	if c != nil {
+		c.RespBackbone++
+	}
+}
+
+func (c *CaseTally) addRespRadio() {
+	if c != nil {
+		c.RespRadio++
+	}
+}
+
+func (c *CaseTally) addIsolation(n int) {
+	if c != nil {
+		c.IsolationPackets += n
+	}
+}
+
+func (c *CaseTally) resolve(v wire.Verdict, teammate wire.NodeID, at time.Duration) {
+	if c != nil && c.Verdict == wire.VerdictUnknown {
+		c.Verdict = v
+		c.Teammate = teammate
+		c.ResolvedAt = at
+	}
+}

@@ -1,0 +1,250 @@
+// Package metrics defines the per-run outcome record and the aggregation
+// used to reproduce the paper's Figure 4 (detection accuracy, true/false
+// positive and negative rates per attacker cluster) and Figure 5 (detection
+// packet counts per scenario class).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Outcome is everything one simulation run reports.
+type Outcome struct {
+	// Seed reproduces the run.
+	Seed int64
+
+	// AttackerPresent is whether the run contained a black hole.
+	AttackerPresent bool
+	// Cooperative is whether the attack was a two-node cooperative one.
+	Cooperative bool
+	// AttackerCluster is the 1-based cluster the attacker started in.
+	AttackerCluster int
+
+	// AttackersPresent counts every hostile node in the run (primary,
+	// extra black holes; accomplices are counted with their primaries).
+	AttackersPresent int
+	// AttackersDetected counts how many of them were convicted.
+	AttackersDetected int
+
+	// Detected is whether the primary attacker was convicted and isolated.
+	Detected bool
+	// TeammateDetected is whether the cooperative accomplice was convicted.
+	TeammateDetected bool
+	// Prevented is whether the source avoided routing through the black
+	// hole even without a conviction.
+	Prevented bool
+	// FalseAccusations counts legitimate nodes convicted as malicious.
+	FalseAccusations int
+
+	// DetectionPackets is the Figure 5 quantity for the run's primary case
+	// (0 when no detection ran).
+	DetectionPackets int
+	// IsolationPackets counts revocation/blacklist traffic.
+	IsolationPackets int
+
+	// DataSent/DataDelivered measure application traffic after route
+	// establishment.
+	DataSent      int
+	DataDelivered int
+
+	// AirFrames/AirBytes total every radio transmission in the run (the
+	// "lightweight" accounting: BlackDP's added control traffic is the
+	// delta against a verification-off run of the same world).
+	AirFrames uint64
+	AirBytes  uint64
+
+	// EstablishStatus is the source's final establishment status string.
+	EstablishStatus string
+	// DetectionLatency is the time from d_req to verdict (0 if none).
+	DetectionLatency time.Duration
+	// Duration is total simulated time consumed.
+	Duration time.Duration
+}
+
+// Classify buckets the outcome into the confusion matrix the paper reports.
+// A run with an attacker is a true positive when the attacker was detected,
+// else a false negative. A run without an attacker is a false positive when
+// anyone was convicted, else a true negative. False accusations also count
+// as false positives regardless of attacker presence.
+func (o Outcome) Classify() (tp, fn, fp, tn bool) {
+	if o.FalseAccusations > 0 {
+		fp = true
+	}
+	if o.AttackerPresent {
+		if o.Detected {
+			tp = true
+		} else {
+			fn = true
+		}
+		return tp, fn, fp, tn
+	}
+	if o.FalseAccusations == 0 {
+		tn = true
+	}
+	return tp, fn, fp, tn
+}
+
+// Summary aggregates outcomes into the paper's rates.
+type Summary struct {
+	Runs int
+	TP   int
+	FN   int
+	FP   int
+	TN   int
+
+	PreventedOnly    int // attacker present, not detected, but blocked
+	DetectionPackets []int
+	Latencies        []time.Duration
+	DataSent         int
+	DataDelivered    int
+}
+
+// Add folds one outcome into the summary.
+func (s *Summary) Add(o Outcome) {
+	s.Runs++
+	tp, fn, fp, tn := o.Classify()
+	if tp {
+		s.TP++
+	}
+	if fn {
+		s.FN++
+	}
+	if fp {
+		s.FP++
+	}
+	if tn {
+		s.TN++
+	}
+	if o.AttackerPresent && !o.Detected && o.Prevented {
+		s.PreventedOnly++
+	}
+	if o.DetectionPackets > 0 {
+		s.DetectionPackets = append(s.DetectionPackets, o.DetectionPackets)
+	}
+	if o.DetectionLatency > 0 {
+		s.Latencies = append(s.Latencies, o.DetectionLatency)
+	}
+	s.DataSent += o.DataSent
+	s.DataDelivered += o.DataDelivered
+}
+
+// Aggregate summarises a batch of outcomes.
+func Aggregate(outcomes []Outcome) Summary {
+	var s Summary
+	for _, o := range outcomes {
+		s.Add(o)
+	}
+	return s
+}
+
+func ratio(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Accuracy is (TP+TN) / runs — with an attacker in every run this equals
+// the detection rate, matching the paper's "detection accuracy".
+func (s Summary) Accuracy() float64 { return ratio(s.TP+s.TN, s.Runs) }
+
+// TPRate is TP / (TP+FN): the fraction of attacks detected.
+func (s Summary) TPRate() float64 { return ratio(s.TP, s.TP+s.FN) }
+
+// FNRate is FN / (TP+FN): the fraction of attacks missed.
+func (s Summary) FNRate() float64 { return ratio(s.FN, s.TP+s.FN) }
+
+// FPRate is FP / runs: the fraction of runs convicting an innocent node.
+func (s Summary) FPRate() float64 { return ratio(s.FP, s.Runs) }
+
+// DeliveryRatio is delivered/sent application data.
+func (s Summary) DeliveryRatio() float64 { return ratio(s.DataDelivered, s.DataSent) }
+
+// PacketStats returns min/mean/max of per-run detection packet counts.
+func (s Summary) PacketStats() (min int, mean float64, max int) {
+	if len(s.DetectionPackets) == 0 {
+		return 0, 0, 0
+	}
+	min, max = s.DetectionPackets[0], s.DetectionPackets[0]
+	sum := 0
+	for _, n := range s.DetectionPackets {
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+		sum += n
+	}
+	return min, float64(sum) / float64(len(s.DetectionPackets)), max
+}
+
+// LatencyPercentile returns the p-th percentile (0 < p <= 100) of detection
+// latencies across runs that produced a verdict, using nearest-rank.
+func (s Summary) LatencyPercentile(p float64) time.Duration {
+	if len(s.Latencies) == 0 || p <= 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), s.Latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if p > 100 {
+		p = 100
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// PacketPercentile returns the p-th percentile of per-run detection packet
+// counts, using nearest-rank.
+func (s Summary) PacketPercentile(p float64) int {
+	if len(s.DetectionPackets) == 0 || p <= 0 {
+		return 0
+	}
+	sorted := append([]int(nil), s.DetectionPackets...)
+	sort.Ints(sorted)
+	if p > 100 {
+		p = 100
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// MeanLatency returns the average detection latency across runs that
+// produced a verdict.
+func (s Summary) MeanLatency() time.Duration {
+	if len(s.Latencies) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, l := range s.Latencies {
+		sum += l
+	}
+	return sum / time.Duration(len(s.Latencies))
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("runs=%d acc=%.1f%% tp=%.1f%% fn=%.1f%% fp=%.1f%%",
+		s.Runs, 100*s.Accuracy(), 100*s.TPRate(), 100*s.FNRate(), 100*s.FPRate())
+}
+
+// ByCluster groups outcomes by attacker cluster — the x-axis of Figure 4.
+func ByCluster(outcomes []Outcome) map[int]Summary {
+	grouped := make(map[int][]Outcome)
+	for _, o := range outcomes {
+		grouped[o.AttackerCluster] = append(grouped[o.AttackerCluster], o)
+	}
+	out := make(map[int]Summary, len(grouped))
+	for c, os := range grouped {
+		out[c] = Aggregate(os)
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClassify(t *testing.T) {
+	tests := []struct {
+		name           string
+		o              Outcome
+		tp, fn, fp, tn bool
+	}{
+		{"attacker detected", Outcome{AttackerPresent: true, Detected: true}, true, false, false, false},
+		{"attacker missed", Outcome{AttackerPresent: true}, false, true, false, false},
+		{"clean run", Outcome{}, false, false, false, true},
+		{"innocent convicted", Outcome{FalseAccusations: 1}, false, false, true, false},
+		{"attacker detected plus innocent convicted", Outcome{AttackerPresent: true, Detected: true, FalseAccusations: 1}, true, false, true, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			tp, fn, fp, tn := tt.o.Classify()
+			if tp != tt.tp || fn != tt.fn || fp != tt.fp || tn != tt.tn {
+				t.Errorf("Classify() = %v %v %v %v, want %v %v %v %v",
+					tp, fn, fp, tn, tt.tp, tt.fn, tt.fp, tt.tn)
+			}
+		})
+	}
+}
+
+func TestAggregateRates(t *testing.T) {
+	outcomes := []Outcome{
+		{AttackerPresent: true, Detected: true, DetectionPackets: 6, DetectionLatency: time.Second},
+		{AttackerPresent: true, Detected: true, DetectionPackets: 8, DetectionLatency: 3 * time.Second},
+		{AttackerPresent: true, Prevented: true},
+		{AttackerPresent: true},
+	}
+	s := Aggregate(outcomes)
+	if s.Runs != 4 || s.TP != 2 || s.FN != 2 || s.FP != 0 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Accuracy() != 0.5 {
+		t.Errorf("Accuracy = %v, want 0.5", s.Accuracy())
+	}
+	if s.TPRate() != 0.5 || s.FNRate() != 0.5 {
+		t.Errorf("TP/FN = %v/%v, want 0.5/0.5", s.TPRate(), s.FNRate())
+	}
+	if s.FPRate() != 0 {
+		t.Errorf("FPRate = %v, want 0", s.FPRate())
+	}
+	if s.PreventedOnly != 1 {
+		t.Errorf("PreventedOnly = %d, want 1", s.PreventedOnly)
+	}
+	min, mean, max := s.PacketStats()
+	if min != 6 || max != 8 || mean != 7 {
+		t.Errorf("PacketStats = %d/%v/%d", min, mean, max)
+	}
+	if s.MeanLatency() != 2*time.Second {
+		t.Errorf("MeanLatency = %v", s.MeanLatency())
+	}
+}
+
+func TestEmptySummary(t *testing.T) {
+	var s Summary
+	if s.Accuracy() != 0 || s.TPRate() != 0 || s.FNRate() != 0 || s.FPRate() != 0 {
+		t.Error("empty summary rates not zero")
+	}
+	if s.MeanLatency() != 0 {
+		t.Error("empty MeanLatency not zero")
+	}
+	if min, mean, max := s.PacketStats(); min != 0 || mean != 0 || max != 0 {
+		t.Error("empty PacketStats not zero")
+	}
+	if s.DeliveryRatio() != 0 {
+		t.Error("empty DeliveryRatio not zero")
+	}
+}
+
+func TestDeliveryRatio(t *testing.T) {
+	s := Aggregate([]Outcome{
+		{DataSent: 10, DataDelivered: 7},
+		{DataSent: 10, DataDelivered: 3},
+	})
+	if s.DeliveryRatio() != 0.5 {
+		t.Errorf("DeliveryRatio = %v, want 0.5", s.DeliveryRatio())
+	}
+}
+
+func TestByCluster(t *testing.T) {
+	outcomes := []Outcome{
+		{AttackerPresent: true, AttackerCluster: 1, Detected: true},
+		{AttackerPresent: true, AttackerCluster: 1, Detected: true},
+		{AttackerPresent: true, AttackerCluster: 9},
+	}
+	grouped := ByCluster(outcomes)
+	if len(grouped) != 2 {
+		t.Fatalf("groups = %d, want 2", len(grouped))
+	}
+	if grouped[1].Accuracy() != 1 {
+		t.Errorf("cluster 1 accuracy = %v", grouped[1].Accuracy())
+	}
+	if grouped[9].FNRate() != 1 {
+		t.Errorf("cluster 9 FN rate = %v", grouped[9].FNRate())
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	var outcomes []Outcome
+	for i := 1; i <= 10; i++ {
+		outcomes = append(outcomes, Outcome{
+			AttackerPresent:  true,
+			Detected:         true,
+			DetectionPackets: i,
+			DetectionLatency: time.Duration(i) * time.Millisecond,
+		})
+	}
+	s := Aggregate(outcomes)
+	tests := []struct {
+		p        float64
+		wantPkts int
+	}{
+		{10, 1}, {50, 5}, {90, 9}, {100, 10}, {150, 10},
+	}
+	for _, tt := range tests {
+		if got := s.PacketPercentile(tt.p); got != tt.wantPkts {
+			t.Errorf("PacketPercentile(%v) = %d, want %d", tt.p, got, tt.wantPkts)
+		}
+		want := time.Duration(tt.wantPkts) * time.Millisecond
+		if got := s.LatencyPercentile(tt.p); got != want {
+			t.Errorf("LatencyPercentile(%v) = %v, want %v", tt.p, got, want)
+		}
+	}
+	if s.PacketPercentile(0) != 0 || s.LatencyPercentile(-1) != 0 {
+		t.Error("non-positive percentile not zero")
+	}
+	var empty Summary
+	if empty.PacketPercentile(50) != 0 || empty.LatencyPercentile(50) != 0 {
+		t.Error("empty summary percentile not zero")
+	}
+}
+
+// TestClassifyPartitionProperty: every attacker-present outcome is exactly
+// one of TP/FN; every attacker-absent outcome with no accusations is TN.
+func TestClassifyPartitionProperty(t *testing.T) {
+	prop := func(present, detected bool, accusations uint8) bool {
+		o := Outcome{
+			AttackerPresent:  present,
+			Detected:         detected,
+			FalseAccusations: int(accusations % 3),
+		}
+		tp, fn, fp, tn := o.Classify()
+		if present && tp == fn {
+			return false // must be exactly one
+		}
+		if !present && (tp || fn) {
+			return false
+		}
+		if !present && o.FalseAccusations == 0 && !tn {
+			return false
+		}
+		if o.FalseAccusations > 0 && !fp {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRatesSumProperty: TPRate + FNRate = 1 whenever attacks exist.
+func TestRatesSumProperty(t *testing.T) {
+	prop := func(detected []bool) bool {
+		if len(detected) == 0 {
+			return true
+		}
+		var outcomes []Outcome
+		for _, d := range detected {
+			outcomes = append(outcomes, Outcome{AttackerPresent: true, Detected: d})
+		}
+		s := Aggregate(outcomes)
+		sum := s.TPRate() + s.FNRate()
+		return sum > 0.9999 && sum < 1.0001
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

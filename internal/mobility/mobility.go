@@ -1,0 +1,324 @@
+// Package mobility models the paper's highway geometry and vehicle motion.
+//
+// The highway is a straight controlled-access road of configurable length and
+// width (Table I: 10 km x 200 m), divided into equal-length clusters (1000 m)
+// with a Road Side Unit at the centre of each. Vehicles move kinematically at
+// a constant per-vehicle speed; positions are evaluated analytically at any
+// virtual time, so the discrete-event simulator never needs motion ticks.
+package mobility
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// KmhToMs converts km/h to m/s.
+func KmhToMs(kmh float64) float64 { return kmh / 3.6 }
+
+// MsToKmh converts m/s to km/h.
+func MsToKmh(ms float64) float64 { return ms * 3.6 }
+
+// Position is a point on the highway plane: X runs along the road from its
+// start (metres), Y runs across it.
+type Position struct {
+	X, Y float64
+}
+
+// DistanceTo returns the Euclidean distance to q in metres.
+func (p Position) DistanceTo(q Position) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+func (p Position) String() string {
+	return fmt.Sprintf("(%.1fm, %.1fm)", p.X, p.Y)
+}
+
+// Direction is the travel direction along the highway axis.
+type Direction int
+
+// Directions of travel. Eastbound increases X.
+const (
+	Eastbound Direction = iota + 1
+	Westbound
+)
+
+func (d Direction) String() string {
+	switch d {
+	case Eastbound:
+		return "eastbound"
+	case Westbound:
+		return "westbound"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// Sign returns +1 for Eastbound and -1 for Westbound.
+func (d Direction) Sign() float64 {
+	if d == Westbound {
+		return -1
+	}
+	return 1
+}
+
+// Highway describes the road geometry and its static clustering.
+type Highway struct {
+	length     float64 // metres along X
+	width      float64 // metres along Y
+	clusterLen float64 // metres per cluster
+	clusters   int
+}
+
+// NewHighway builds a highway of the given dimensions divided into clusters
+// of clusterLen metres. The length must be a positive whole multiple of
+// clusterLen, matching the paper's equal-size static clusters.
+func NewHighway(length, width, clusterLen float64) (*Highway, error) {
+	switch {
+	case length <= 0:
+		return nil, fmt.Errorf("mobility: highway length %v must be positive", length)
+	case width <= 0:
+		return nil, fmt.Errorf("mobility: highway width %v must be positive", width)
+	case clusterLen <= 0:
+		return nil, fmt.Errorf("mobility: cluster length %v must be positive", clusterLen)
+	}
+	n := length / clusterLen
+	rounded := math.Round(n)
+	if rounded < 1 || math.Abs(n-rounded) > 1e-9 {
+		return nil, fmt.Errorf("mobility: highway length %vm is not a whole multiple of cluster length %vm", length, clusterLen)
+	}
+	return &Highway{length: length, width: width, clusterLen: clusterLen, clusters: int(rounded)}, nil
+}
+
+// Length returns the highway length in metres.
+func (h *Highway) Length() float64 { return h.length }
+
+// Width returns the highway width in metres.
+func (h *Highway) Width() float64 { return h.width }
+
+// ClusterLength returns the per-cluster length in metres.
+func (h *Highway) ClusterLength() float64 { return h.clusterLen }
+
+// Clusters returns the number of clusters (the paper's p = l / r).
+func (h *Highway) Clusters() int { return h.clusters }
+
+// Contains reports whether p lies on the highway surface.
+func (h *Highway) Contains(p Position) bool {
+	return p.X >= 0 && p.X <= h.length && p.Y >= 0 && p.Y <= h.width
+}
+
+// ClusterAt returns the 1-based cluster index covering longitudinal position
+// x, clamped to the first/last cluster for off-road coordinates. The paper
+// numbers clusters 1..10.
+func (h *Highway) ClusterAt(x float64) int {
+	if x < 0 {
+		return 1
+	}
+	c := int(x/h.clusterLen) + 1
+	if c > h.clusters {
+		return h.clusters
+	}
+	return c
+}
+
+// ClusterCenter returns the RSU mounting point for cluster c (1-based):
+// longitudinally central in the cluster, laterally central on the road.
+func (h *Highway) ClusterCenter(c int) Position {
+	h.checkCluster(c)
+	return Position{X: (float64(c) - 0.5) * h.clusterLen, Y: h.width / 2}
+}
+
+// ClusterBounds returns the [lo, hi) longitudinal extent of cluster c.
+func (h *Highway) ClusterBounds(c int) (lo, hi float64) {
+	h.checkCluster(c)
+	lo = float64(c-1) * h.clusterLen
+	return lo, lo + h.clusterLen
+}
+
+func (h *Highway) checkCluster(c int) {
+	if c < 1 || c > h.clusters {
+		panic(fmt.Sprintf("mobility: cluster %d out of range [1, %d]", c, h.clusters))
+	}
+}
+
+// OverlapZone reports whether a node at longitudinal position x is within
+// radio range of more than one cluster head, given the common transmission
+// range. Vehicles joining from such a zone must broadcast their join request
+// to every reachable cluster head (paper SIII-A).
+func (h *Highway) OverlapZone(x float64, txRange float64) bool {
+	return len(h.ClustersInRange(x, txRange)) > 1
+}
+
+// ClustersInRange returns the 1-based indices of all clusters whose head is
+// within txRange (longitudinally) of position x, in ascending order.
+func (h *Highway) ClustersInRange(x float64, txRange float64) []int {
+	var out []int
+	for c := 1; c <= h.clusters; c++ {
+		center := (float64(c) - 0.5) * h.clusterLen
+		if math.Abs(x-center) <= txRange {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Locator yields a (possibly moving) node position over virtual time.
+type Locator interface {
+	// PositionAt returns the node position at virtual time t.
+	PositionAt(t time.Duration) Position
+	// OnHighwayAt reports whether the node is on the road (and therefore
+	// radio-active) at virtual time t.
+	OnHighwayAt(t time.Duration) bool
+}
+
+// Static is a stationary Locator (RSUs, trusted-authority uplinks).
+type Static struct {
+	Pos Position
+	H   *Highway
+}
+
+var _ Locator = Static{}
+
+// PositionAt implements Locator.
+func (s Static) PositionAt(time.Duration) Position { return s.Pos }
+
+// OnHighwayAt implements Locator. A static node is always active; RSUs sit on
+// the roadside whether or not their coordinates fall on the road surface.
+func (s Static) OnHighwayAt(time.Duration) bool { return true }
+
+// Mobile is a vehicle trajectory: piecewise-constant speed along the highway
+// axis at a fixed lateral offset. The zero value is unusable; construct with
+// NewMobile.
+type Mobile struct {
+	h *Highway
+
+	// Re-based kinematic state: position/speed valid from time base onward.
+	base  time.Duration
+	pos   Position
+	speed float64 // m/s, always >= 0
+	dir   Direction
+
+	exited bool // permanently left the highway (fled or reached the end)
+}
+
+// NewMobile creates a vehicle at start, travelling in dir at speed m/s from
+// virtual time t0.
+func NewMobile(h *Highway, start Position, dir Direction, speed float64, t0 time.Duration) (*Mobile, error) {
+	if h == nil {
+		return nil, fmt.Errorf("mobility: NewMobile requires a highway")
+	}
+	if !h.Contains(start) {
+		return nil, fmt.Errorf("mobility: start %v is off the highway", start)
+	}
+	if speed < 0 {
+		return nil, fmt.Errorf("mobility: speed %v must be non-negative", speed)
+	}
+	if dir != Eastbound && dir != Westbound {
+		return nil, fmt.Errorf("mobility: invalid direction %v", dir)
+	}
+	return &Mobile{h: h, base: t0, pos: start, speed: speed, dir: dir}, nil
+}
+
+var _ Locator = (*Mobile)(nil)
+
+// Speed returns the current speed in m/s.
+func (m *Mobile) Speed() float64 { return m.speed }
+
+// Direction returns the travel direction.
+func (m *Mobile) Direction() Direction { return m.dir }
+
+// PositionAt implements Locator. Positions are clamped to the highway ends;
+// use OnHighwayAt to detect departure.
+func (m *Mobile) PositionAt(t time.Duration) Position {
+	x := m.rawX(t)
+	if x < 0 {
+		x = 0
+	}
+	if x > m.h.length {
+		x = m.h.length
+	}
+	return Position{X: x, Y: m.pos.Y}
+}
+
+func (m *Mobile) rawX(t time.Duration) float64 {
+	dt := t - m.base
+	if dt < 0 {
+		dt = 0 // history before the last re-base is not retained
+	}
+	return m.pos.X + m.dir.Sign()*m.speed*dt.Seconds()
+}
+
+// OnHighwayAt implements Locator.
+func (m *Mobile) OnHighwayAt(t time.Duration) bool {
+	if m.exited {
+		return false
+	}
+	x := m.rawX(t)
+	return x >= 0 && x <= m.h.length
+}
+
+// ClusterAt returns the 1-based cluster index the vehicle occupies at t.
+func (m *Mobile) ClusterAt(t time.Duration) int {
+	return m.h.ClusterAt(m.PositionAt(t).X)
+}
+
+// SetSpeed re-bases the trajectory at time now with a new speed, preserving
+// position continuity. Used by evasive attackers that accelerate to flee.
+func (m *Mobile) SetSpeed(now time.Duration, speed float64) error {
+	if speed < 0 {
+		return fmt.Errorf("mobility: speed %v must be non-negative", speed)
+	}
+	m.rebase(now)
+	m.speed = speed
+	return nil
+}
+
+// Exit marks the vehicle as permanently departed at time now (it took an
+// off-ramp). Its position freezes; OnHighwayAt reports false afterwards.
+func (m *Mobile) Exit(now time.Duration) {
+	m.rebase(now)
+	m.speed = 0
+	m.exited = true
+}
+
+// Exited reports whether Exit has been called.
+func (m *Mobile) Exited() bool { return m.exited }
+
+func (m *Mobile) rebase(now time.Duration) {
+	m.pos = m.PositionAt(now)
+	m.base = now
+}
+
+// TimeToReachX returns the virtual time at which the vehicle first reaches
+// longitudinal coordinate x, and whether it ever does (given its current
+// speed and direction, and ignoring the highway end).
+func (m *Mobile) TimeToReachX(x float64) (time.Duration, bool) {
+	if m.exited {
+		return 0, false
+	}
+	dx := x - m.pos.X
+	if dx == 0 {
+		return m.base, true
+	}
+	v := m.dir.Sign() * m.speed
+	if v == 0 || dx/v < 0 {
+		return 0, false
+	}
+	return m.base + time.Duration(dx/v*float64(time.Second)), true
+}
+
+// DepartureTime returns the virtual time at which the vehicle leaves the
+// highway by travelling past an end, and whether it ever does.
+func (m *Mobile) DepartureTime() (time.Duration, bool) {
+	if m.exited {
+		return m.base, true
+	}
+	if m.speed == 0 {
+		return 0, false
+	}
+	edge := m.h.length
+	if m.dir == Westbound {
+		edge = 0
+	}
+	return m.TimeToReachX(edge)
+}

@@ -1,0 +1,96 @@
+package pki
+
+import (
+	"testing"
+	"time"
+
+	"blackdp/internal/wire"
+)
+
+func benchSetup(b *testing.B, scheme Scheme) (*Authority, *Credential, *TrustStore) {
+	b.Helper()
+	trust := NewTrustStore()
+	a, err := NewAuthority(1, trust, func() time.Duration { return 0 }, scheme, newDetReader(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cred, err := a.Issue("veh", time.Hour, newDetReader(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return a, cred, trust
+}
+
+// BenchmarkSealECDSA measures signing one route reply (the per-RREP cost a
+// destination or intermediate pays).
+func BenchmarkSealECDSA(b *testing.B) {
+	scheme := ECDSA{Rand: newDetReader(3)}
+	_, cred, _ := benchSetup(b, scheme)
+	p := &wire.RREP{Origin: 1, Dest: 7, DestSeq: 75, HopCount: 3, Issuer: cred.NodeID()}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Seal(p, cred, scheme); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOpenECDSA measures the receiver side: certificate verification
+// plus signature verification plus decode — the paper's per-packet
+// authentication cost at vehicles and RSUs.
+func BenchmarkOpenECDSA(b *testing.B) {
+	scheme := ECDSA{Rand: newDetReader(3)}
+	_, cred, trust := benchSetup(b, scheme)
+	sec, err := Seal(&wire.RREP{Origin: 1, Dest: 7, DestSeq: 75, Issuer: cred.NodeID()}, cred, scheme)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Open(sec, trust, 0, scheme); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOpenInsecure is the ablation control for Open.
+func BenchmarkOpenInsecure(b *testing.B) {
+	scheme := Insecure{}
+	_, cred, trust := benchSetup(b, scheme)
+	sec, err := Seal(&wire.RREP{Origin: 1, Dest: 7, DestSeq: 75, Issuer: cred.NodeID()}, cred, scheme)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Open(sec, trust, 0, scheme); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIssue measures credential issuance (key generation + TA
+// signature), the TA-side renewal cost the paper worries about under load.
+func BenchmarkIssue(b *testing.B) {
+	scheme := ECDSA{Rand: newDetReader(3)}
+	a, _, _ := benchSetup(b, scheme)
+	r := newDetReader(4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Issue("bench", time.Hour, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVerifyCertificate isolates the certificate check.
+func BenchmarkVerifyCertificate(b *testing.B) {
+	scheme := ECDSA{Rand: newDetReader(3)}
+	_, cred, trust := benchSetup(b, scheme)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := VerifyCertificate(&cred.Cert, trust, 0, scheme); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+// Package pki implements the paper's IEEE 1609.2-style security substrate:
+// Trusted Authorities that issue short-lived pseudonymous ECDSA certificates,
+// certificate verification, revocation with cross-authority renewal pausing,
+// and the "secure packet" envelope (SHA-256 digest signed with the sender's
+// private key, carried with the sender's certificate).
+package pki
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	cryptorand "crypto/rand"
+	"crypto/sha256"
+	"crypto/x509"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Scheme abstracts the signature algorithm so the benchmark harness can
+// ablate cryptographic cost (real ECDSA P-256 versus a free placeholder).
+type Scheme interface {
+	// Name identifies the scheme in reports.
+	Name() string
+	// Sign produces a fixed-width signature over msg.
+	Sign(priv *ecdsa.PrivateKey, msg []byte) ([]byte, error)
+	// Verify reports whether sig is a valid signature over msg by pub.
+	Verify(pub *ecdsa.PublicKey, msg, sig []byte) bool
+}
+
+// Signature framing: ECDSA P-256 ASN.1 signatures vary between 70 and 72
+// bytes, and Go's signer draws nondeterministic nonces. To keep simulated
+// packet sizes (and therefore transmission delays and event ordering)
+// independent of signature randomness, signatures travel in a fixed-width
+// field: one length byte followed by the ASN.1 bytes, zero-padded.
+const (
+	maxASN1SigLen = 72
+	// SignatureSize is the fixed on-wire signature field width.
+	SignatureSize = 1 + maxASN1SigLen
+)
+
+// ECDSA is the production scheme: SHA-256 digests signed with ECDSA P-256,
+// as mandated by IEEE 1609.2. The rand reader seeds nonce generation; pass
+// nil for crypto/rand.
+type ECDSA struct {
+	Rand io.Reader
+}
+
+var _ Scheme = ECDSA{}
+
+// Name implements Scheme.
+func (ECDSA) Name() string { return "ecdsa-p256-sha256" }
+
+// Sign implements Scheme.
+func (e ECDSA) Sign(priv *ecdsa.PrivateKey, msg []byte) ([]byte, error) {
+	if priv == nil {
+		return nil, errors.New("pki: Sign with nil key")
+	}
+	digest := sha256.Sum256(msg)
+	asn1, err := ecdsa.SignASN1(e.Rand, priv, digest[:])
+	if err != nil {
+		return nil, fmt.Errorf("pki: signing: %w", err)
+	}
+	if len(asn1) > maxASN1SigLen {
+		return nil, fmt.Errorf("pki: unexpected %d-byte ASN.1 signature", len(asn1))
+	}
+	sig := make([]byte, SignatureSize)
+	sig[0] = byte(len(asn1))
+	copy(sig[1:], asn1)
+	return sig, nil
+}
+
+// Verify implements Scheme.
+func (ECDSA) Verify(pub *ecdsa.PublicKey, msg, sig []byte) bool {
+	asn1, ok := unframe(sig)
+	if !ok || pub == nil {
+		return false
+	}
+	digest := sha256.Sum256(msg)
+	return ecdsa.VerifyASN1(pub, digest[:], asn1)
+}
+
+// Insecure is the ablation scheme: the "signature" is the SHA-256 digest of
+// the message and the key's public point, checked by recomputation. It has
+// the same wire size as ECDSA but near-zero CPU cost and no security; it
+// exists only to measure the cryptographic share of detection latency.
+type Insecure struct{}
+
+var _ Scheme = Insecure{}
+
+// Name implements Scheme.
+func (Insecure) Name() string { return "insecure-digest" }
+
+func insecureTag(pub *ecdsa.PublicKey, msg []byte) []byte {
+	h := sha256.New()
+	h.Write(msg)
+	if pub != nil && pub.X != nil {
+		h.Write(pub.X.Bytes())
+		h.Write(pub.Y.Bytes())
+	}
+	return h.Sum(nil)
+}
+
+// Sign implements Scheme.
+func (Insecure) Sign(priv *ecdsa.PrivateKey, msg []byte) ([]byte, error) {
+	if priv == nil {
+		return nil, errors.New("pki: Sign with nil key")
+	}
+	tag := insecureTag(&priv.PublicKey, msg)
+	sig := make([]byte, SignatureSize)
+	sig[0] = byte(len(tag))
+	copy(sig[1:], tag)
+	return sig, nil
+}
+
+// Verify implements Scheme.
+func (Insecure) Verify(pub *ecdsa.PublicKey, msg, sig []byte) bool {
+	tag, ok := unframe(sig)
+	if !ok || pub == nil {
+		return false
+	}
+	want := insecureTag(pub, msg)
+	if len(tag) != len(want) {
+		return false
+	}
+	for i := range tag {
+		if tag[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func unframe(sig []byte) ([]byte, bool) {
+	if len(sig) != SignatureSize {
+		return nil, false
+	}
+	n := int(sig[0])
+	if n > maxASN1SigLen {
+		return nil, false
+	}
+	return sig[1 : 1+n], true
+}
+
+// MarshalPublicKey encodes an ECDSA public key in PKIX DER form for
+// embedding in certificates.
+func MarshalPublicKey(pub *ecdsa.PublicKey) ([]byte, error) {
+	der, err := x509.MarshalPKIXPublicKey(pub)
+	if err != nil {
+		return nil, fmt.Errorf("pki: encoding public key: %w", err)
+	}
+	return der, nil
+}
+
+// ParsePublicKey decodes a PKIX DER public key, requiring ECDSA P-256.
+func ParsePublicKey(der []byte) (*ecdsa.PublicKey, error) {
+	k, err := x509.ParsePKIXPublicKey(der)
+	if err != nil {
+		return nil, fmt.Errorf("pki: parsing public key: %w", err)
+	}
+	pub, ok := k.(*ecdsa.PublicKey)
+	if !ok {
+		return nil, fmt.Errorf("pki: public key is %T, want *ecdsa.PublicKey", k)
+	}
+	if pub.Curve != elliptic.P256() {
+		return nil, fmt.Errorf("pki: public key curve %v, want P-256", pub.Curve.Params().Name)
+	}
+	return pub, nil
+}
+
+// GenerateKey creates a fresh ECDSA P-256 key pair using rand (nil for
+// crypto/rand).
+func GenerateKey(rand io.Reader) (*ecdsa.PrivateKey, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), orCryptoRand(rand))
+	if err != nil {
+		return nil, fmt.Errorf("pki: generating key: %w", err)
+	}
+	return key, nil
+}
+
+func orCryptoRand(r io.Reader) io.Reader {
+	if r != nil {
+		return r
+	}
+	return cryptorand.Reader
+}

@@ -1,0 +1,97 @@
+package radio
+
+import (
+	"fmt"
+	"time"
+
+	"blackdp/internal/sim"
+	"blackdp/internal/wire"
+)
+
+// Backbone is the wired infrastructure network: RSUs "connect to each other
+// via high speed links to form sequential static clusters" (paper SIII-A),
+// and Trusted Authority nodes hang off it. Delivery is reliable; latency is
+// per-hop along the chain, so adjacent cluster heads talk faster than
+// distant ones.
+type Backbone struct {
+	sched      *sim.Scheduler
+	hopLatency time.Duration
+	endpoints  map[wire.NodeID]*BackboneEndpoint
+	stats      Stats
+}
+
+// BackboneReceiver handles backbone messages.
+type BackboneReceiver func(from wire.NodeID, payload []byte)
+
+// BackboneEndpoint is one infrastructure node's port on the backbone.
+type BackboneEndpoint struct {
+	bb   *Backbone
+	id   wire.NodeID
+	hop  int
+	recv BackboneReceiver
+}
+
+// NewBackbone creates a wired backbone with the given per-hop latency
+// (latency between chain positions i and j is |i-j| * hopLatency, minimum
+// one hop).
+func NewBackbone(sched *sim.Scheduler, hopLatency time.Duration) *Backbone {
+	if sched == nil {
+		panic("radio: NewBackbone requires a scheduler")
+	}
+	if hopLatency < 0 {
+		panic("radio: negative backbone latency")
+	}
+	return &Backbone{
+		sched:      sched,
+		hopLatency: hopLatency,
+		endpoints:  make(map[wire.NodeID]*BackboneEndpoint),
+	}
+}
+
+// Attach adds an infrastructure node at chain position hop (cluster index
+// for RSUs; TAs use the position of the RSU they co-locate with).
+func (b *Backbone) Attach(id wire.NodeID, hop int, recv BackboneReceiver) (*BackboneEndpoint, error) {
+	if recv == nil {
+		return nil, fmt.Errorf("radio: backbone Attach(%v) requires a receiver", id)
+	}
+	if id == wire.Broadcast {
+		return nil, fmt.Errorf("radio: backbone cannot attach the broadcast NodeID")
+	}
+	if _, dup := b.endpoints[id]; dup {
+		return nil, fmt.Errorf("radio: backbone endpoint %v already attached", id)
+	}
+	ep := &BackboneEndpoint{bb: b, id: id, hop: hop, recv: recv}
+	b.endpoints[id] = ep
+	return ep, nil
+}
+
+// Stats returns a snapshot of backbone counters.
+func (b *Backbone) Stats() Stats { return b.stats.clone() }
+
+// NodeID returns the endpoint's identity.
+func (ep *BackboneEndpoint) NodeID() wire.NodeID { return ep.id }
+
+// Send delivers payload to endpoint to after the chain latency. It returns
+// an error if the destination is not attached; wired infrastructure knows
+// its peers, so a missing one is a configuration bug worth surfacing.
+func (ep *BackboneEndpoint) Send(to wire.NodeID, payload []byte) error {
+	b := ep.bb
+	dst, ok := b.endpoints[to]
+	if !ok {
+		return fmt.Errorf("radio: backbone destination %v not attached", to)
+	}
+	hops := dst.hop - ep.hop
+	if hops < 0 {
+		hops = -hops
+	}
+	if hops == 0 {
+		hops = 1 // co-located nodes still cross one link
+	}
+	b.stats.count(&b.stats.SentFrames, payload, len(payload))
+	from := ep.id
+	b.sched.After(time.Duration(hops)*b.hopLatency, func() {
+		b.stats.count(&b.stats.DeliveredFrames, payload, len(payload))
+		dst.recv(from, payload)
+	})
+	return nil
+}

@@ -1,0 +1,62 @@
+package radio
+
+import (
+	"testing"
+
+	"blackdp/internal/mobility"
+	"blackdp/internal/sim"
+	"blackdp/internal/wire"
+)
+
+// benchMedium builds a medium with n static devices spread over the
+// highway.
+func benchMedium(b *testing.B, n int) (*sim.Scheduler, *Medium, *Interface) {
+	b.Helper()
+	h, err := mobility.NewHighway(10_000, 200, 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched := sim.NewScheduler()
+	m := NewMedium(sched, sim.NewRNG(1))
+	var first *Interface
+	for i := 0; i < n; i++ {
+		x := float64(i) * (10_000 / float64(n))
+		ifc := m.Attach(wire.NodeID(i+1), mobility.Static{Pos: mobility.Position{X: x, Y: 100}, H: h}, func(Frame) {})
+		if i == 0 {
+			first = ifc
+		}
+	}
+	return sched, m, first
+}
+
+// BenchmarkBroadcast100 measures a broadcast over the Table I population
+// density (100 nodes, ~20 in range), including delivery events.
+func BenchmarkBroadcast100(b *testing.B) {
+	sched, _, tx := benchMedium(b, 100)
+	payload, err := (&wire.Hello{Origin: 1}).MarshalBinary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tx.Send(wire.Broadcast, payload)
+		sched.Run()
+	}
+}
+
+// BenchmarkUnicast100 measures an acknowledged unicast in the same
+// population.
+func BenchmarkUnicast100(b *testing.B) {
+	sched, _, tx := benchMedium(b, 100)
+	payload, err := (&wire.Data{Origin: 1, Dest: 5, Payload: make([]byte, 64)}).MarshalBinary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !tx.Send(5, payload) {
+			b.Fatal("unicast unacked")
+		}
+		sched.Run()
+	}
+}

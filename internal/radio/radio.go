@@ -1,0 +1,300 @@
+// Package radio simulates the DSRC wireless channel and the wired RSU
+// backbone.
+//
+// The wireless Medium is a unit-disk model: every attached device shares one
+// transmission range (the paper assumes bidirectional links with an identical
+// range for all nodes), and a frame reaches exactly the active devices within
+// that range of the sender at transmit time. Per-receiver delay is
+// transmission time (frame bits over the channel bitrate) plus propagation
+// time plus a small uniform jitter standing in for MAC contention; an
+// optional uniform loss rate injects failures. Addressing is by the sender's
+// and receiver's current pseudonymous NodeID — unicast frames are delivered
+// only to the addressee, broadcasts to every neighbour.
+package radio
+
+import (
+	"fmt"
+	"time"
+
+	"blackdp/internal/mobility"
+	"blackdp/internal/sim"
+	"blackdp/internal/wire"
+)
+
+// Frame is one link-layer transmission.
+type Frame struct {
+	From    wire.NodeID // transmitting neighbour (current pseudonym)
+	To      wire.NodeID // wire.Broadcast for broadcasts
+	Payload []byte      // a marshalled wire packet
+}
+
+// Kind peeks at the payload's packet kind without decoding. It returns an
+// invalid Kind for empty payloads.
+func (f Frame) Kind() wire.Kind {
+	if len(f.Payload) == 0 {
+		return 0
+	}
+	return wire.Kind(f.Payload[0])
+}
+
+// Receiver handles delivered frames.
+type Receiver func(Frame)
+
+// Option configures a Medium.
+type Option func(*Medium)
+
+// WithRange sets the shared transmission range in metres (default 1000,
+// Table I).
+func WithRange(metres float64) Option {
+	return func(m *Medium) { m.txRange = metres }
+}
+
+// WithBitrate sets the channel bitrate in bits/second (default 6 Mb/s, the
+// DSRC default data rate).
+func WithBitrate(bps float64) Option {
+	return func(m *Medium) { m.bitrate = bps }
+}
+
+// WithLossRate sets the independent per-receiver frame-loss probability
+// (default 0).
+func WithLossRate(p float64) Option {
+	return func(m *Medium) { m.lossRate = p }
+}
+
+// WithJitter sets the maximum per-receiver MAC jitter (default 2 ms).
+func WithJitter(max time.Duration) Option {
+	return func(m *Medium) { m.jitterMax = max }
+}
+
+// Medium is the shared wireless channel.
+type Medium struct {
+	sched     *sim.Scheduler
+	rng       *sim.RNG
+	txRange   float64
+	bitrate   float64
+	lossRate  float64
+	jitterMax time.Duration
+
+	devices []*Interface
+	stats   Stats
+}
+
+// propagationSpeed is the signal speed in m/s.
+const propagationSpeed = 299_792_458.0
+
+// NewMedium creates a wireless medium driven by sched, drawing loss and
+// jitter decisions from rng.
+func NewMedium(sched *sim.Scheduler, rng *sim.RNG, opts ...Option) *Medium {
+	if sched == nil || rng == nil {
+		panic("radio: NewMedium requires a scheduler and RNG")
+	}
+	m := &Medium{
+		sched:     sched,
+		rng:       rng,
+		txRange:   1000,
+		bitrate:   6_000_000,
+		jitterMax: 2 * time.Millisecond,
+	}
+	for _, opt := range opts {
+		opt(m)
+	}
+	return m
+}
+
+// Range returns the shared transmission range in metres.
+func (m *Medium) Range() float64 { return m.txRange }
+
+// Stats returns a snapshot of the channel counters. The snapshot is
+// independent of the live counters.
+func (m *Medium) Stats() Stats { return m.stats.clone() }
+
+// Attach adds a device with the given initial pseudonym, trajectory and
+// receive handler, returning its channel endpoint.
+func (m *Medium) Attach(id wire.NodeID, loc mobility.Locator, recv Receiver) *Interface {
+	if loc == nil || recv == nil {
+		panic("radio: Attach requires a locator and receiver")
+	}
+	if id == wire.Broadcast {
+		panic("radio: cannot attach with the broadcast NodeID")
+	}
+	ifc := &Interface{medium: m, id: id, loc: loc, recv: recv}
+	m.devices = append(m.devices, ifc)
+	return ifc
+}
+
+// Interface is one device's endpoint on the medium.
+type Interface struct {
+	medium   *Medium
+	id       wire.NodeID
+	loc      mobility.Locator
+	recv     Receiver
+	detached bool
+	silenced bool
+}
+
+// NodeID returns the device's current pseudonym.
+func (i *Interface) NodeID() wire.NodeID { return i.id }
+
+// SetNodeID changes the device's pseudonym (certificate renewal). Frames
+// already in flight to the old pseudonym are lost, as in a real identity
+// change.
+func (i *Interface) SetNodeID(id wire.NodeID) {
+	if id == wire.Broadcast {
+		panic("radio: cannot take the broadcast NodeID")
+	}
+	i.id = id
+}
+
+// SetReceiver replaces the device's receive handler. The attack layer uses
+// it to interpose on a vehicle's frame processing.
+func (i *Interface) SetReceiver(recv Receiver) {
+	if recv == nil {
+		panic("radio: SetReceiver with nil receiver")
+	}
+	i.recv = recv
+}
+
+// Detach removes the device from the channel permanently.
+func (i *Interface) Detach() { i.detached = true }
+
+// SetSilenced pauses (true) or resumes (false) the radio without detaching;
+// a silenced device neither sends nor receives.
+func (i *Interface) SetSilenced(s bool) { i.silenced = s }
+
+// active reports whether the device is transmitting/receiving at time t.
+func (i *Interface) active(t time.Duration) bool {
+	return !i.detached && !i.silenced && i.loc.OnHighwayAt(t)
+}
+
+// Send transmits payload to the pseudonym to (wire.Broadcast for all
+// neighbours). Delivery is scheduled per in-range receiver.
+//
+// The return value models 802.11-style unicast acknowledgement: false means
+// the frame certainly did not reach the addressee (absent, out of range,
+// silenced, or eaten by the residual loss process after retries), which is
+// how real AODV implementations detect broken links. Broadcasts are
+// unacknowledged and always report true. A true for unicast can still
+// rarely turn into a loss if the receiver deactivates while the frame is in
+// flight.
+func (i *Interface) Send(to wire.NodeID, payload []byte) bool {
+	m := i.medium
+	now := m.sched.Now()
+	if !i.active(now) {
+		m.stats.count(&m.stats.SuppressedFrames, payload, 0)
+		return false
+	}
+	m.stats.count(&m.stats.SentFrames, payload, len(payload))
+	from := i.id
+	src := i.loc.PositionAt(now)
+	txDelay := time.Duration(float64(len(payload)*8) / m.bitrate * float64(time.Second))
+	acked := to == wire.Broadcast
+	for _, dev := range m.devices {
+		if dev == i || !dev.active(now) {
+			continue
+		}
+		if to != wire.Broadcast && dev.id != to {
+			continue
+		}
+		dist := src.DistanceTo(dev.loc.PositionAt(now))
+		if dist > m.txRange {
+			continue
+		}
+		if m.rng.Bool(m.lossRate) {
+			m.stats.count(&m.stats.LostFrames, payload, len(payload))
+			continue
+		}
+		acked = true
+		prop := time.Duration(dist / propagationSpeed * float64(time.Second))
+		delay := txDelay + prop + m.rng.Jitter(m.jitterMax)
+		dev := dev
+		frame := Frame{From: from, To: to, Payload: payload}
+		m.sched.After(delay, func() {
+			if !dev.active(m.sched.Now()) {
+				m.stats.count(&m.stats.LostFrames, payload, len(payload))
+				return
+			}
+			m.stats.count(&m.stats.DeliveredFrames, payload, len(payload))
+			dev.recv(frame)
+		})
+	}
+	if !acked {
+		m.stats.count(&m.stats.UnackedFrames, payload, len(payload))
+	}
+	return acked
+}
+
+// Neighbors returns the pseudonyms of all active devices currently within
+// range of i, in attach order. Intended for tests and diagnostics; protocol
+// code should discover neighbours with Hello beacons.
+func (i *Interface) Neighbors() []wire.NodeID {
+	m := i.medium
+	now := m.sched.Now()
+	if !i.active(now) {
+		return nil
+	}
+	src := i.loc.PositionAt(now)
+	var out []wire.NodeID
+	for _, dev := range m.devices {
+		if dev == i || !dev.active(now) {
+			continue
+		}
+		if src.DistanceTo(dev.loc.PositionAt(now)) <= m.txRange {
+			out = append(out, dev.id)
+		}
+	}
+	return out
+}
+
+// Stats aggregates channel counters. Frame counters are per transmission
+// attempt or per receiver as noted; byte counters follow their frame
+// counter.
+type Stats struct {
+	SentFrames       Counter // transmissions initiated
+	DeliveredFrames  Counter // per-receiver successful deliveries
+	LostFrames       Counter // per-receiver losses (random loss or receiver gone)
+	SuppressedFrames Counter // sends attempted while the device was inactive
+	UnackedFrames    Counter // unicasts whose addressee was unreachable at send time
+}
+
+// Counter tallies frames and bytes, overall and per packet kind.
+type Counter struct {
+	Frames uint64
+	Bytes  uint64
+	ByKind map[wire.Kind]uint64
+}
+
+func (s *Stats) count(c *Counter, payload []byte, bytes int) {
+	c.Frames++
+	c.Bytes += uint64(bytes)
+	if len(payload) > 0 {
+		if c.ByKind == nil {
+			c.ByKind = make(map[wire.Kind]uint64)
+		}
+		c.ByKind[wire.Kind(payload[0])]++
+	}
+}
+
+func (c Counter) String() string {
+	return fmt.Sprintf("%d frames / %d bytes", c.Frames, c.Bytes)
+}
+
+func (c Counter) clone() Counter {
+	out := c
+	if c.ByKind != nil {
+		out.ByKind = make(map[wire.Kind]uint64, len(c.ByKind))
+		for k, v := range c.ByKind {
+			out.ByKind[k] = v
+		}
+	}
+	return out
+}
+
+func (s Stats) clone() Stats {
+	return Stats{
+		SentFrames:       s.SentFrames.clone(),
+		DeliveredFrames:  s.DeliveredFrames.clone(),
+		LostFrames:       s.LostFrames.clone(),
+		SuppressedFrames: s.SuppressedFrames.clone(),
+		UnackedFrames:    s.UnackedFrames.clone(),
+	}
+}

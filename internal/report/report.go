@@ -1,0 +1,150 @@
+// Package report renders experiment results as aligned text tables and as
+// CSV data files, so the experiment harness can both print human-readable
+// output and emit machine-readable artefacts for plotting.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"text/tabwriter"
+)
+
+// Table is a titled grid of string cells with a fixed column arity.
+type Table struct {
+	Title   string
+	Slug    string // file-name stem for CSV export
+	columns []string
+	rows    [][]string
+	notes   []string
+}
+
+// New creates a table. Slug defaults to a sanitised form of the title.
+func New(title string, columns ...string) *Table {
+	if len(columns) == 0 {
+		panic("report: a table needs at least one column")
+	}
+	return &Table{Title: title, Slug: slugify(title), columns: append([]string(nil), columns...)}
+}
+
+func slugify(s string) string {
+	var b strings.Builder
+	lastDash := true
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+			lastDash = false
+		default:
+			if !lastDash {
+				b.WriteByte('-')
+				lastDash = true
+			}
+		}
+	}
+	return strings.TrimRight(b.String(), "-")
+}
+
+// Columns returns the header cells.
+func (t *Table) Columns() []string { return append([]string(nil), t.columns...) }
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// AddRow appends a row; the cell count must match the header.
+func (t *Table) AddRow(cells ...string) error {
+	if len(cells) != len(t.columns) {
+		return fmt.Errorf("report: row has %d cells, table has %d columns", len(cells), len(t.columns))
+	}
+	t.rows = append(t.rows, append([]string(nil), cells...))
+	return nil
+}
+
+// AddRowf appends a row of formatted values; the value count must match the
+// header.
+func (t *Table) AddRowf(values ...any) error {
+	cells := make([]string, len(values))
+	for i, v := range values {
+		cells[i] = fmt.Sprint(v)
+	}
+	return t.AddRow(cells...)
+}
+
+// Note attaches a free-text footnote rendered after the table.
+func (t *Table) Note(format string, args ...any) {
+	t.notes = append(t.notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, t.Title); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.columns, "\t"))
+	for _, row := range t.rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, n := range t.notes {
+		if _, err := fmt.Fprintln(w, n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV writes header plus rows as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.columns); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SaveCSV writes the table to dir/<slug>.csv, creating dir if needed, and
+// returns the file path.
+func (t *Table) SaveCSV(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("report: creating %s: %w", dir, err)
+	}
+	path := filepath.Join(dir, t.Slug+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", fmt.Errorf("report: creating %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := t.WriteCSV(f); err != nil {
+		return "", fmt.Errorf("report: writing %s: %w", path, err)
+	}
+	return path, f.Close()
+}
+
+// Emit renders the table to stdout and, when csvDir is non-empty, also
+// saves it as CSV there, printing the artefact path.
+func (t *Table) Emit(csvDir string) error {
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	if csvDir == "" {
+		return nil
+	}
+	path, err := t.SaveCSV(csvDir)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Printf("[csv: %s]\n", path)
+	return err
+}

@@ -1,0 +1,111 @@
+package report
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := New("FIGURE X: things", "cluster", "accuracy")
+	if err := tbl.AddRow("1", "100%"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AddRowf(2, "99%"); err != nil {
+		t.Fatal(err)
+	}
+	tbl.Note("a footnote")
+
+	var sb strings.Builder
+	if err := tbl.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"FIGURE X: things", "cluster", "accuracy", "100%", "99%", "a footnote"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if tbl.Rows() != 2 {
+		t.Errorf("Rows() = %d", tbl.Rows())
+	}
+}
+
+func TestTableArityChecked(t *testing.T) {
+	tbl := New("t", "a", "b")
+	if err := tbl.AddRow("only one"); err == nil {
+		t.Error("short row accepted")
+	}
+	if err := tbl.AddRowf(1, 2, 3); err == nil {
+		t.Error("long row accepted")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tbl := New("t", "a", "b")
+	if err := tbl.AddRow("1", "x,y"); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tbl.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,\"x,y\"\n"
+	if sb.String() != want {
+		t.Errorf("csv = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestSaveCSV(t *testing.T) {
+	dir := t.TempDir()
+	tbl := New("FIGURE 4: Single attacks (150 runs)", "cluster", "accuracy")
+	if err := tbl.AddRow("1", "1.0"); err != nil {
+		t.Fatal(err)
+	}
+	path, err := tbl.SaveCSV(filepath.Join(dir, "sub"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "figure-4-single-attacks-150-runs.csv" {
+		t.Errorf("slug path = %s", path)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(b), "cluster,accuracy\n") {
+		t.Errorf("file content = %q", b)
+	}
+}
+
+func TestSlugify(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"FIGURE 5: packets", "figure-5-packets"},
+		{"  weird -- name!! ", "weird-name"},
+		{"ALLCAPS", "allcaps"},
+	}
+	for _, tt := range tests {
+		if got := slugify(tt.in); got != tt.want {
+			t.Errorf("slugify(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestColumnsCopy(t *testing.T) {
+	tbl := New("t", "a")
+	cols := tbl.Columns()
+	cols[0] = "mutated"
+	if tbl.Columns()[0] != "a" {
+		t.Error("Columns exposes internal storage")
+	}
+}
+
+func TestNewPanicsWithoutColumns(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for zero columns")
+		}
+	}()
+	New("t")
+}

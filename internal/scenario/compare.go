@@ -1,0 +1,256 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"blackdp/internal/aodv"
+	"blackdp/internal/attack"
+	"blackdp/internal/baseline"
+	"blackdp/internal/cluster"
+	"blackdp/internal/core"
+	"blackdp/internal/mobility"
+	"blackdp/internal/pki"
+	"blackdp/internal/radio"
+	"blackdp/internal/sim"
+	"blackdp/internal/wire"
+)
+
+// DetectorScore aggregates a detector's performance over repeated runs.
+type DetectorScore struct {
+	Name       string
+	Runs       int
+	Hits       int // attacker flagged
+	Misses     int // attacker present, not flagged
+	FalsePos   int // innocent issuers flagged
+	NoDecision int // detector had nothing to decide on (e.g. single reply)
+}
+
+// HitRate returns Hits / Runs.
+func (s DetectorScore) HitRate() float64 {
+	if s.Runs == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Runs)
+}
+
+func (s DetectorScore) String() string {
+	return fmt.Sprintf("%-24s hits=%d/%d fp=%d undecided=%d",
+		s.Name, s.Hits, s.Runs, s.FalsePos, s.NoDecision)
+}
+
+// CompareDetectors runs reps Table-I scenarios and scores the related-work
+// sequence-number detectors on the source's raw discovery replies, alongside
+// BlackDP's behavioural detection on the same worlds.
+func CompareDetectors(cfg Config, reps int) ([]DetectorScore, error) {
+	cfg = cfg.withDefaults()
+	detectors := baseline.All()
+	scores := make([]DetectorScore, len(detectors)+1)
+	for i, d := range detectors {
+		scores[i].Name = d.Name()
+	}
+	scores[len(detectors)].Name = "blackdp"
+
+	for rep := 0; rep < reps; rep++ {
+		runCfg := cfg
+		runCfg.Seed = cfg.Seed + int64(rep)*104729
+
+		// Raw discovery view for the sequence-number heuristics.
+		w, err := Build(runCfg)
+		if err != nil {
+			return nil, err
+		}
+		attackerID := wire.NodeID(0)
+		if w.Attacker != nil {
+			attackerID = w.Attacker.NodeID()
+		}
+		w.Sched.RunFor(1500 * time.Millisecond) // joins settle
+		var got *aodv.DiscoverResult
+		err = w.Source.Router().Discover(w.Destination.NodeID(),
+			func(res aodv.DiscoverResult) { got = &res })
+		if err != nil {
+			return nil, err
+		}
+		w.Sched.RunFor(5 * time.Second)
+		if got == nil {
+			return nil, fmt.Errorf("scenario: discovery never completed (seed %d)", runCfg.Seed)
+		}
+		for i, d := range detectors {
+			scores[i].Runs++
+			if len(got.Candidates) < 2 {
+				if _, isFirst := d.(baseline.FirstReply); isFirst {
+					scores[i].NoDecision++
+					scores[i].Misses++
+					continue
+				}
+			}
+			ev := baseline.Evaluate(d, got.Candidates, attackerID)
+			if ev.Hit {
+				scores[i].Hits++
+			} else if attackerID != 0 {
+				scores[i].Misses++
+			}
+			scores[i].FalsePos += ev.FalsePos
+		}
+
+		// BlackDP's verdict on an identical world.
+		o, err := Run(runCfg)
+		if err != nil {
+			return nil, err
+		}
+		idx := len(detectors)
+		scores[idx].Runs++
+		switch {
+		case o.Detected:
+			scores[idx].Hits++
+		case o.AttackerPresent:
+			scores[idx].Misses++
+		}
+		scores[idx].FalsePos += o.FalseAccusations
+	}
+	return scores, nil
+}
+
+// ConnectorResult reports the paper's connector case: the attacker is the
+// only bridge between two disconnected highway segments, so the source
+// receives exactly one (forged) route reply.
+type ConnectorResult struct {
+	Replies         int             // replies the source's discovery collected
+	BaselineFlagged map[string]bool // detector name -> attacker flagged
+	BlackDPDetected bool
+}
+
+// RunConnector builds the connector topology with the given forged-sequence
+// inflation and compares every detector. Low inflation (e.g. 30) defeats
+// all magnitude-based baselines; BlackDP's probing is magnitude-blind.
+func RunConnector(seed int64, seqBonus wire.SeqNum) (ConnectorResult, error) {
+	highway, err := mobility.NewHighway(10_000, 200, 1000)
+	if err != nil {
+		return ConnectorResult{}, err
+	}
+	rng := sim.NewRNG(seed)
+	sched := sim.NewScheduler()
+	env := core.Env{
+		Sched:    sched,
+		RNG:      rng.Split("core"),
+		Trust:    pki.NewTrustStore(),
+		Scheme:   pki.ECDSA{Rand: rng.Split("crypto").Reader()},
+		Dir:      cluster.NewDirectory(),
+		Highway:  highway,
+		Medium:   radio.NewMedium(sched, rng.Split("radio")),
+		Backbone: radio.NewBackbone(sched, time.Millisecond),
+		Tally:    core.NewTally(),
+	}
+	served := make([]wire.ClusterID, highway.Clusters())
+	for i := range served {
+		served[i] = wire.ClusterID(i + 1)
+	}
+	ta, err := core.NewAuthorityAgent(env, 1, 1, served, time.Hour)
+	if err != nil {
+		return ConnectorResult{}, err
+	}
+	// Only clusters 1 and 2 are RSU-equipped — the paper notes the highway
+	// need not be fully covered. The destination sits in the uncovered
+	// stretch, so no RSU can relay to it and the attacker really is the
+	// sole bridge.
+	for _, c := range []wire.ClusterID{1, 2} {
+		cred, err := ta.IssueHeadCredential(c)
+		if err != nil {
+			return ConnectorResult{}, err
+		}
+		h, err := core.NewHeadAgent(env, core.HeadConfig{}, cred, c)
+		if err != nil {
+			return ConnectorResult{}, err
+		}
+		h.Start()
+	}
+
+	mk := func(lineage string, x float64) (*core.VehicleAgent, error) {
+		cred, err := ta.IssueVehicleCredential(lineage)
+		if err != nil {
+			return nil, err
+		}
+		mob, err := mobility.NewMobile(highway, mobility.Position{X: x, Y: 100}, mobility.Eastbound, 14, 0)
+		if err != nil {
+			return nil, err
+		}
+		v, err := core.NewVehicleAgent(env, core.VehicleConfig{Verify: true}, cred, mob)
+		if err != nil {
+			return nil, err
+		}
+		v.Start()
+		return v, nil
+	}
+	// Source at 800, attacker at 1700, destination at 2600: adjacent pairs
+	// are in range (900 m); source-destination is not (1800 m); and neither
+	// equipped RSU (at 500 and 1500) can reach the destination. The
+	// attacker bridges the partition and its forged reply is the only one
+	// the source ever receives.
+	source, err := mk("source", 800)
+	if err != nil {
+		return ConnectorResult{}, err
+	}
+	attacker, err := mk("attacker", 1700)
+	if err != nil {
+		return ConnectorResult{}, err
+	}
+	dest, err := mk("dest", 2600)
+	if err != nil {
+		return ConnectorResult{}, err
+	}
+
+	profile := attack.DefaultProfile()
+	profile.SeqBonus = seqBonus
+	bh := attack.NewBlackhole(profile, attack.Env{
+		Sched:   sched,
+		RNG:     rng.Split("attacker"),
+		Send:    attacker.Interface().Send,
+		Self:    attacker.Interface().NodeID,
+		Cluster: attacker.Client().Cluster,
+		Seal: func(p wire.Packet) ([]byte, error) {
+			sec, err := pki.Seal(p, attacker.Credential(), env.Scheme)
+			if err != nil {
+				return nil, err
+			}
+			return sec.MarshalBinary()
+		},
+		Inner: attacker.HandleFrame,
+	})
+	attacker.Interface().SetReceiver(bh.HandleFrame)
+
+	sched.RunFor(1500 * time.Millisecond)
+
+	// Raw discovery for the baselines. The destination is radio-unreachable
+	// (the black hole does not forward floods), so the forged reply is the
+	// only candidate the source ever sees.
+	var raw *aodv.DiscoverResult
+	if err := source.Router().Discover(dest.NodeID(), func(r aodv.DiscoverResult) { raw = &r }); err != nil {
+		return ConnectorResult{}, err
+	}
+	sched.RunFor(5 * time.Second)
+	if raw == nil {
+		return ConnectorResult{}, fmt.Errorf("scenario: connector discovery never completed")
+	}
+	res := ConnectorResult{
+		Replies:         len(raw.Candidates),
+		BaselineFlagged: make(map[string]bool),
+	}
+	for _, d := range baseline.All() {
+		ev := baseline.Evaluate(d, raw.Candidates, attacker.NodeID())
+		res.BaselineFlagged[d.Name()] = ev.Hit
+	}
+
+	// BlackDP's verified establishment on the same world.
+	var done *core.EstablishResult
+	if err := source.EstablishRoute(dest.NodeID(), func(r core.EstablishResult) { done = &r }); err != nil {
+		return ConnectorResult{}, err
+	}
+	deadline := sched.Now() + 40*time.Second
+	for done == nil && sched.Now() < deadline && sched.Pending() > 0 {
+		sched.Step()
+	}
+	if done != nil && done.Status == core.StatusDetected {
+		res.BlackDPDetected = true
+	}
+	return res, nil
+}

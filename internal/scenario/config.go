@@ -1,0 +1,181 @@
+// Package scenario builds and runs complete simulation scenarios: the Table
+// I highway world (100 vehicles, 10 RSU cluster heads, trusted authorities,
+// wired backbone), attacker placement rules, the source-destination workload,
+// and per-run outcome extraction. It is the layer the public API, the
+// example programs and the benchmark harness all drive.
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"blackdp/internal/core"
+	"blackdp/internal/wire"
+)
+
+// AttackKind selects the adversary for a run.
+type AttackKind int
+
+// Attack kinds.
+const (
+	// NoAttack runs an honest network.
+	NoAttack AttackKind = iota + 1
+	// SingleBlackHole places one black hole vehicle.
+	SingleBlackHole
+	// CooperativeBlackHole places a black hole and a supporting accomplice
+	// within mutual radio range.
+	CooperativeBlackHole
+)
+
+func (k AttackKind) String() string {
+	switch k {
+	case NoAttack:
+		return "none"
+	case SingleBlackHole:
+		return "single"
+	case CooperativeBlackHole:
+		return "cooperative"
+	default:
+		return fmt.Sprintf("AttackKind(%d)", int(k))
+	}
+}
+
+// Config describes one simulation run. DefaultConfig returns the paper's
+// Table I values; zero fields of a hand-built Config are filled from it.
+type Config struct {
+	// Seed drives every random decision of the run.
+	Seed int64
+
+	// Highway geometry (Table I).
+	HighwayLengthM float64 // 10 km
+	HighwayWidthM  float64 // 200 m
+	ClusterLengthM float64 // 1000 m
+	TxRangeM       float64 // 1000 m
+
+	// Population (Table I).
+	Vehicles    int     // 100
+	SpeedMinKmh float64 // 50
+	SpeedMaxKmh float64 // 90
+
+	// Infrastructure.
+	Authorities     int           // TA nodes; clusters are split evenly among them
+	CertValidity    time.Duration // vehicle pseudonym lifetime
+	BackboneLatency time.Duration // per-hop wired latency
+
+	// Channel.
+	LossRate float64 // per-receiver frame loss probability
+
+	// Protocol.
+	Vehicle    core.VehicleConfig
+	Head       core.HeadConfig
+	RealCrypto bool // true: ECDSA P-256; false: free placeholder signatures
+
+	// Attack.
+	Attack          AttackKind
+	AttackerCluster int // 1-based; 0 picks a random cluster
+	// ExtraAttackers adds this many further independent single black holes
+	// in random clusters (the paper's attack model allows multiple
+	// attackers in the network). Each attracts and drops traffic on its
+	// own; detection handles them as separate cases.
+	ExtraAttackers  int
+	EvasiveClusters []int // clusters where the attacker draws evasive behaviour
+	ActLegitProb    float64
+	FleeProb        float64 // effective only when the attacker starts in the last cluster
+	RenewProb       float64
+	FakeHelloProb   float64     // probability of forging probe replies instead of staying silent
+	SeqBonus        wire.SeqNum // forged-reply inflation; 0 = attack default
+
+	// Workload.
+	DataPackets int           // application packets sent once a route stands
+	MaxSimTime  time.Duration // hard stop
+	Trace       bool          // record a structured event log
+}
+
+// DefaultConfig returns the paper's Table I parameters with protocol
+// defaults: verification on, real ECDSA, two trusted authorities, no channel
+// loss, single black hole in a random cluster.
+func DefaultConfig() Config {
+	return Config{
+		Seed:            1,
+		HighwayLengthM:  10_000,
+		HighwayWidthM:   200,
+		ClusterLengthM:  1000,
+		TxRangeM:        1000,
+		Vehicles:        100,
+		SpeedMinKmh:     50,
+		SpeedMaxKmh:     90,
+		Authorities:     2,
+		CertValidity:    time.Hour,
+		BackboneLatency: time.Millisecond,
+		Vehicle:         core.VehicleConfig{Verify: true},
+		RealCrypto:      true,
+		Attack:          SingleBlackHole,
+		ActLegitProb:    0.15,
+		FleeProb:        0.3,
+		RenewProb:       0.15,
+		DataPackets:     10,
+		MaxSimTime:      90 * time.Second,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	def := DefaultConfig()
+	if c.HighwayLengthM == 0 {
+		c.HighwayLengthM = def.HighwayLengthM
+	}
+	if c.HighwayWidthM == 0 {
+		c.HighwayWidthM = def.HighwayWidthM
+	}
+	if c.ClusterLengthM == 0 {
+		c.ClusterLengthM = def.ClusterLengthM
+	}
+	if c.TxRangeM == 0 {
+		c.TxRangeM = def.TxRangeM
+	}
+	if c.Vehicles == 0 {
+		c.Vehicles = def.Vehicles
+	}
+	if c.SpeedMinKmh == 0 {
+		c.SpeedMinKmh = def.SpeedMinKmh
+	}
+	if c.SpeedMaxKmh == 0 {
+		c.SpeedMaxKmh = def.SpeedMaxKmh
+	}
+	if c.Authorities == 0 {
+		c.Authorities = def.Authorities
+	}
+	if c.CertValidity == 0 {
+		c.CertValidity = def.CertValidity
+	}
+	if c.BackboneLatency == 0 {
+		c.BackboneLatency = def.BackboneLatency
+	}
+	if c.Attack == 0 {
+		c.Attack = def.Attack
+	}
+	if c.MaxSimTime == 0 {
+		c.MaxSimTime = def.MaxSimTime
+	}
+	return c
+}
+
+// Validate rejects impossible configurations.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	clusters := int(c.HighwayLengthM / c.ClusterLengthM)
+	switch {
+	case c.Vehicles < 4:
+		return fmt.Errorf("scenario: %d vehicles cannot form source, destination and relays", c.Vehicles)
+	case c.SpeedMaxKmh < c.SpeedMinKmh:
+		return fmt.Errorf("scenario: speed range [%v, %v] inverted", c.SpeedMinKmh, c.SpeedMaxKmh)
+	case c.Authorities < 1 || c.Authorities > clusters:
+		return fmt.Errorf("scenario: %d authorities for %d clusters", c.Authorities, clusters)
+	case c.AttackerCluster < 0 || c.AttackerCluster > clusters:
+		return fmt.Errorf("scenario: attacker cluster %d out of range [0, %d]", c.AttackerCluster, clusters)
+	case c.LossRate < 0 || c.LossRate >= 1:
+		return fmt.Errorf("scenario: loss rate %v out of [0, 1)", c.LossRate)
+	case c.ExtraAttackers < 0 || c.ExtraAttackers > c.Vehicles/4:
+		return fmt.Errorf("scenario: %d extra attackers for %d vehicles", c.ExtraAttackers, c.Vehicles)
+	}
+	return nil
+}

@@ -1,0 +1,40 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// MarshalJSON / config files: Config is plain data, so the default encoding
+// works; durations serialise as nanoseconds, which keeps files seed-exact.
+
+// LoadConfig reads a JSON config file, layering it over DefaultConfig so
+// files only need to name the fields they change.
+func LoadConfig(path string) (Config, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, fmt.Errorf("scenario: reading config: %w", err)
+	}
+	cfg := DefaultConfig()
+	if err := json.Unmarshal(b, &cfg); err != nil {
+		return Config{}, fmt.Errorf("scenario: parsing %s: %w", path, err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// SaveConfig writes the config as indented JSON.
+func SaveConfig(cfg Config, path string) error {
+	b, err := json.MarshalIndent(cfg, "", "  ")
+	if err != nil {
+		return fmt.Errorf("scenario: encoding config: %w", err)
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return fmt.Errorf("scenario: writing %s: %w", path, err)
+	}
+	return nil
+}

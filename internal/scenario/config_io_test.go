@@ -1,0 +1,98 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestConfigSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cfg.json")
+	cfg := DefaultConfig()
+	cfg.Seed = 42
+	cfg.AttackerCluster = 7
+	cfg.Attack = CooperativeBlackHole
+	cfg.ExtraAttackers = 2
+	cfg.EvasiveClusters = []int{8, 9, 10}
+
+	if err := SaveConfig(cfg, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != 42 || got.AttackerCluster != 7 || got.Attack != CooperativeBlackHole ||
+		got.ExtraAttackers != 2 || len(got.EvasiveClusters) != 3 {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	if got.Vehicles != 100 || got.CertValidity != cfg.CertValidity {
+		t.Errorf("defaults lost in round trip: %+v", got)
+	}
+}
+
+func TestLoadConfigPartialFileLayersOverDefaults(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "partial.json")
+	if err := os.WriteFile(path, []byte(`{"Seed": 9, "AttackerCluster": 3}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != 9 || got.AttackerCluster != 3 {
+		t.Errorf("overrides not applied: %+v", got)
+	}
+	if got.Vehicles != 100 || got.HighwayLengthM != 10_000 || !got.Vehicle.Verify {
+		t.Errorf("defaults not layered: %+v", got)
+	}
+}
+
+func TestLoadConfigRejectsInvalid(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"AttackerCluster": 99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadConfig(bad); err == nil {
+		t.Error("invalid config accepted")
+	}
+	garbage := filepath.Join(dir, "garbage.json")
+	if err := os.WriteFile(garbage, []byte(`{{{`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadConfig(garbage); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := LoadConfig(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestLoadedConfigRunsIdentically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cfg.json")
+	cfg := DefaultConfig()
+	cfg.Seed = 7
+	cfg.AttackerCluster = 5
+	if err := SaveConfig(cfg, path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("run from saved config diverged:\n a=%+v\n b=%+v", a, b)
+	}
+}

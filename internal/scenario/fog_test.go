@@ -1,0 +1,52 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFogOffloadFlattensAuthQueue(t *testing.T) {
+	// The paper's SIII-C bottleneck: authentication queueing at a busy head
+	// grows with the report burst; fog verifiers divide it.
+	alone, err := RunFogAblation(5, 20, 20*time.Millisecond, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offloaded, err := RunFogAblation(5, 20, 20*time.Millisecond, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alone.AuthQueued != 20 || offloaded.AuthQueued != 20 {
+		t.Fatalf("queued %d/%d verifications, want 20 each", alone.AuthQueued, offloaded.AuthQueued)
+	}
+	// A single server serialises ~20 x 20ms; five servers cut the worst
+	// wait by roughly the server count.
+	if alone.MaxAuthLatency < 300*time.Millisecond {
+		t.Errorf("single-server worst delay = %v, expected ~400ms of queueing", alone.MaxAuthLatency)
+	}
+	if offloaded.MaxAuthLatency*3 > alone.MaxAuthLatency {
+		t.Errorf("fog offload did not flatten the queue: %v vs %v",
+			offloaded.MaxAuthLatency, alone.MaxAuthLatency)
+	}
+	if offloaded.MeanVerdict > alone.MeanVerdict {
+		t.Errorf("verdicts slower with fog: %v vs %v", offloaded.MeanVerdict, alone.MeanVerdict)
+	}
+}
+
+func TestFogAblationValidation(t *testing.T) {
+	if _, err := RunFogAblation(1, 0, time.Millisecond, 0); err == nil {
+		t.Error("zero reporters accepted")
+	}
+}
+
+func TestZeroAuthCostIsSynchronous(t *testing.T) {
+	// With no configured verification cost, detection latency matches the
+	// unqueued baseline regardless of burst size.
+	res, err := RunFogAblation(5, 10, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxAuthLatency != 0 || res.AuthQueued != 0 {
+		t.Errorf("free verification still queued: %+v", res)
+	}
+}

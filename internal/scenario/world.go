@@ -1,0 +1,563 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"blackdp/internal/aodv"
+	"blackdp/internal/attack"
+	"blackdp/internal/cluster"
+	"blackdp/internal/core"
+	"blackdp/internal/metrics"
+	"blackdp/internal/mobility"
+	"blackdp/internal/pki"
+	"blackdp/internal/radio"
+	"blackdp/internal/sim"
+	"blackdp/internal/trace"
+	"blackdp/internal/wire"
+)
+
+// World is one fully constructed simulation: infrastructure, population,
+// adversary and workload, ready to Run.
+type World struct {
+	Cfg         Config
+	Env         core.Env
+	Sched       *sim.Scheduler
+	Highway     *mobility.Highway
+	Authorities []*core.AuthorityAgent
+	Heads       map[wire.ClusterID]*core.HeadAgent
+	Vehicles    []*core.VehicleAgent
+
+	Source      *core.VehicleAgent
+	Destination *core.VehicleAgent
+	Attacker    *core.VehicleAgent
+	Teammate    *core.VehicleAgent
+	AttackerBH  *attack.Blackhole
+	TeammateBH  *attack.Blackhole
+	// Extras are the additional independent black holes, when
+	// Config.ExtraAttackers > 0.
+	Extras []*Hostile
+
+	attackerIDs map[wire.NodeID]bool // every pseudonym the primary attacker held
+	teammateIDs map[wire.NodeID]bool
+
+	rng    *sim.RNG
+	vehSeq int
+}
+
+// Hostile bundles one extra attacker with its interceptor and the pseudonym
+// history needed to attribute verdicts after renewals.
+type Hostile struct {
+	Agent *core.VehicleAgent
+	BH    *attack.Blackhole
+	ids   map[wire.NodeID]bool
+}
+
+// Detected reports whether any of the hostile's identities was convicted in
+// the tally.
+func (h *Hostile) detectedIn(t *core.Tally) bool {
+	for _, ct := range t.Cases() {
+		if ct.Verdict == wire.VerdictMalicious && h.ids[ct.Suspect] {
+			return true
+		}
+	}
+	return false
+}
+
+// Build constructs the world for cfg without running it.
+func Build(cfg Config) (*World, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	highway, err := mobility.NewHighway(cfg.HighwayLengthM, cfg.HighwayWidthM, cfg.ClusterLengthM)
+	if err != nil {
+		return nil, err
+	}
+	rng := sim.NewRNG(cfg.Seed)
+	sched := sim.NewScheduler()
+
+	var scheme pki.Scheme = pki.Insecure{}
+	if cfg.RealCrypto {
+		scheme = pki.ECDSA{Rand: rng.Split("crypto").Reader()}
+	}
+	var tracer *trace.Recorder
+	if cfg.Trace {
+		tracer = trace.NewRecorder(sched.Now, 0)
+	}
+	env := core.Env{
+		Sched:   sched,
+		RNG:     rng.Split("core"),
+		Trust:   pki.NewTrustStore(),
+		Scheme:  scheme,
+		Dir:     cluster.NewDirectory(),
+		Highway: highway,
+		Medium: radio.NewMedium(sched, rng.Split("radio"),
+			radio.WithRange(cfg.TxRangeM), radio.WithLossRate(cfg.LossRate)),
+		Backbone: radio.NewBackbone(sched, cfg.BackboneLatency),
+		Tracer:   tracer,
+		Tally:    core.NewTally(),
+	}
+	w := &World{
+		Cfg:         cfg,
+		Env:         env,
+		Sched:       sched,
+		Highway:     highway,
+		Heads:       make(map[wire.ClusterID]*core.HeadAgent),
+		attackerIDs: make(map[wire.NodeID]bool),
+		teammateIDs: make(map[wire.NodeID]bool),
+		rng:         rng,
+	}
+	if err := w.buildInfrastructure(); err != nil {
+		return nil, err
+	}
+	if err := w.buildPopulation(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// buildInfrastructure creates the TAs and one head per cluster.
+func (w *World) buildInfrastructure() error {
+	clusters := w.Highway.Clusters()
+	per := (clusters + w.Cfg.Authorities - 1) / w.Cfg.Authorities
+	for a := 0; a < w.Cfg.Authorities; a++ {
+		lo := a*per + 1
+		hi := lo + per - 1
+		if hi > clusters {
+			hi = clusters
+		}
+		if lo > clusters {
+			break
+		}
+		var served []wire.ClusterID
+		for c := lo; c <= hi; c++ {
+			served = append(served, wire.ClusterID(c))
+		}
+		ta, err := core.NewAuthorityAgent(w.Env, wire.AuthorityID(a+1), (lo+hi)/2, served, w.Cfg.CertValidity)
+		if err != nil {
+			return err
+		}
+		w.Authorities = append(w.Authorities, ta)
+	}
+	peers := make([]wire.NodeID, 0, len(w.Authorities))
+	for _, ta := range w.Authorities {
+		peers = append(peers, ta.NodeID())
+	}
+	for _, ta := range w.Authorities {
+		ta.SetPeers(peers)
+	}
+	for c := 1; c <= clusters; c++ {
+		cid := wire.ClusterID(c)
+		ta := w.authorityFor(cid)
+		cred, err := ta.IssueHeadCredential(cid)
+		if err != nil {
+			return err
+		}
+		head, err := core.NewHeadAgent(w.Env, w.Cfg.Head, cred, cid)
+		if err != nil {
+			return err
+		}
+		head.Start()
+		w.Heads[cid] = head
+	}
+	return nil
+}
+
+func (w *World) authorityFor(c wire.ClusterID) *core.AuthorityAgent {
+	clusters := w.Highway.Clusters()
+	per := (clusters + w.Cfg.Authorities - 1) / w.Cfg.Authorities
+	idx := (int(c) - 1) / per
+	if idx >= len(w.Authorities) {
+		idx = len(w.Authorities) - 1
+	}
+	return w.Authorities[idx]
+}
+
+// buildPopulation places the source, destination, attacker(s) and filler
+// vehicles per the paper's experiment setup.
+func (w *World) buildPopulation() error {
+	clusters := w.Highway.Clusters()
+	attackCluster := w.Cfg.AttackerCluster
+	if attackCluster == 0 {
+		attackCluster = w.rng.IntN(clusters) + 1
+	}
+	w.Cfg.AttackerCluster = attackCluster
+
+	// Source at the beginning of the highway (paper SIV-A).
+	src, err := w.addVehicle(w.rng.Range(50, 450), w.randomSpeed(), mobility.Eastbound)
+	if err != nil {
+		return err
+	}
+	w.Source = src
+
+	// Destination at least two clusters away from the attacker, never in
+	// its radio range at placement.
+	destCluster := attackCluster + 3
+	if destCluster > clusters {
+		destCluster = attackCluster - 3
+	}
+	if destCluster < 1 {
+		destCluster = 1
+	}
+	lo, hi := w.Highway.ClusterBounds(destCluster)
+	dest, err := w.addVehicle(w.rng.Range(lo+100, hi-100), w.randomSpeed(), mobility.Eastbound)
+	if err != nil {
+		return err
+	}
+	w.Destination = dest
+
+	if w.Cfg.Attack != NoAttack {
+		if err := w.placeAttackers(attackCluster); err != nil {
+			return err
+		}
+		if err := w.placeExtraAttackers(destCluster); err != nil {
+			return err
+		}
+	}
+
+	// Filler traffic, both directions, uniform over the highway.
+	for len(w.Vehicles) < w.Cfg.Vehicles {
+		dir := mobility.Eastbound
+		if w.rng.Bool(0.5) {
+			dir = mobility.Westbound
+		}
+		if _, err := w.addVehicle(w.rng.Range(10, w.Highway.Length()-10), w.randomSpeed(), dir); err != nil {
+			return err
+		}
+	}
+
+	for _, v := range w.Vehicles {
+		v.Start()
+	}
+	return nil
+}
+
+func (w *World) randomSpeed() float64 {
+	return mobility.KmhToMs(w.rng.Range(w.Cfg.SpeedMinKmh, w.Cfg.SpeedMaxKmh))
+}
+
+// addVehicle provisions a credential from the region's TA and constructs a
+// legitimate vehicle agent (not yet started).
+func (w *World) addVehicle(x, speedMS float64, dir mobility.Direction) (*core.VehicleAgent, error) {
+	w.vehSeq++
+	cid := wire.ClusterID(w.Highway.ClusterAt(x))
+	cred, err := w.authorityFor(cid).IssueVehicleCredential(fmt.Sprintf("veh-%d", w.vehSeq))
+	if err != nil {
+		return nil, err
+	}
+	lane := 20 + 40*float64(w.rng.IntN(4))
+	mob, err := mobility.NewMobile(w.Highway, mobility.Position{X: x, Y: lane}, dir, speedMS, w.Sched.Now())
+	if err != nil {
+		return nil, err
+	}
+	v, err := core.NewVehicleAgent(w.Env, w.Cfg.Vehicle, cred, mob)
+	if err != nil {
+		return nil, err
+	}
+	w.Vehicles = append(w.Vehicles, v)
+	return v, nil
+}
+
+// placeAttackers creates the black hole (and accomplice) in the configured
+// cluster, per the paper's placement rules.
+func (w *World) placeAttackers(attackCluster int) error {
+	lo, hi := w.Highway.ClusterBounds(attackCluster)
+	ax := w.rng.Range(lo+100, hi-200)
+	attacker, err := w.addVehicle(ax, w.randomSpeed(), mobility.Eastbound)
+	if err != nil {
+		return err
+	}
+	w.Attacker = attacker
+	w.attackerIDs[attacker.NodeID()] = true
+	attacker.OnRenewed(func(old, new wire.NodeID) { w.attackerIDs[new] = true })
+
+	profile := attack.DefaultProfile()
+	if w.Cfg.SeqBonus != 0 {
+		profile.SeqBonus = w.Cfg.SeqBonus
+	}
+	profile.ActLegitProb = w.Cfg.ActLegitProb
+	profile.RenewProb = w.Cfg.RenewProb
+	profile.FakeHelloReplyProb = w.Cfg.FakeHelloProb
+	if attackCluster == w.Highway.Clusters() {
+		// The paper's fleeing attackers escape from the last cluster.
+		profile.FleeProb = w.Cfg.FleeProb
+	}
+
+	if w.Cfg.Attack == CooperativeBlackHole {
+		tx := ax + w.rng.Range(200, 400)
+		if tx > w.Highway.Length()-10 {
+			tx = w.Highway.Length() - 10
+		}
+		teammate, err := w.addVehicle(tx, w.randomSpeed(), mobility.Eastbound)
+		if err != nil {
+			return err
+		}
+		w.Teammate = teammate
+		w.teammateIDs[teammate.NodeID()] = true
+		teammate.OnRenewed(func(old, new wire.NodeID) { w.teammateIDs[new] = true })
+		tp := profile
+		tp.SupportOnly = true
+		tp.Teammate = 0
+		w.TeammateBH = w.arm(teammate, tp)
+		profile.Teammate = teammate.NodeID()
+	}
+	w.AttackerBH = w.arm(attacker, profile)
+	return nil
+}
+
+// placeExtraAttackers adds independent single black holes in random
+// clusters away from the destination.
+func (w *World) placeExtraAttackers(destCluster int) error {
+	clusters := w.Highway.Clusters()
+	for i := 0; i < w.Cfg.ExtraAttackers; i++ {
+		c := w.rng.IntN(clusters) + 1
+		if c == destCluster {
+			c = c%clusters + 1
+		}
+		lo, hi := w.Highway.ClusterBounds(c)
+		v, err := w.addVehicle(w.rng.Range(lo+100, hi-100), w.randomSpeed(), mobility.Eastbound)
+		if err != nil {
+			return err
+		}
+		h := &Hostile{Agent: v, ids: map[wire.NodeID]bool{v.NodeID(): true}}
+		v.OnRenewed(func(old, new wire.NodeID) { h.ids[new] = true })
+		profile := attack.DefaultProfile()
+		if w.Cfg.SeqBonus != 0 {
+			profile.SeqBonus = w.Cfg.SeqBonus
+		}
+		profile.ActLegitProb = w.Cfg.ActLegitProb
+		profile.RenewProb = w.Cfg.RenewProb
+		profile.FakeHelloReplyProb = w.Cfg.FakeHelloProb
+		h.BH = w.arm(v, profile)
+		w.Extras = append(w.Extras, h)
+	}
+	return nil
+}
+
+// arm wires a hostile interceptor in front of a vehicle's radio. Evasion is
+// drawn only after the first forged reply (the paper's attackers evade
+// during detection, not before attacking) and only inside the configured
+// evasive clusters.
+func (w *World) arm(v *core.VehicleAgent, profile attack.Profile) *attack.Blackhole {
+	evasive := make(map[int]bool, len(w.Cfg.EvasiveClusters))
+	for _, c := range w.Cfg.EvasiveClusters {
+		evasive[c] = true
+	}
+	var bh *attack.Blackhole
+	profile.EvasiveWhen = func() bool {
+		if bh == nil || bh.Stats().RepliesForged == 0 {
+			return false
+		}
+		return evasive[v.Mobile().ClusterAt(w.Sched.Now())]
+	}
+	bh = attack.NewBlackhole(profile, attack.Env{
+		Sched:   w.Sched,
+		RNG:     w.rng.Split("attacker-" + v.NodeID().String()),
+		Send:    v.Interface().Send,
+		Self:    v.Interface().NodeID,
+		Cluster: v.Client().Cluster,
+		Seal: func(p wire.Packet) ([]byte, error) {
+			sec, err := pki.Seal(p, v.Credential(), w.Env.Scheme)
+			if err != nil {
+				return nil, err
+			}
+			return sec.MarshalBinary()
+		},
+		Inner: v.HandleFrame,
+		Flee:  func() { v.Mobile().Exit(w.Sched.Now()) },
+		Renew: func() { _ = v.RenewCertificate() },
+	})
+	v.Interface().SetReceiver(bh.HandleFrame)
+	return bh
+}
+
+// Run executes the workload and extracts the outcome.
+func (w *World) Run() metrics.Outcome {
+	const (
+		establishAt = 1500 * time.Millisecond
+		dataGap     = 100 * time.Millisecond
+		grace       = 3 * time.Second
+	)
+	var (
+		finalStatus   core.EstablishStatus
+		statusKnown   bool
+		dataSent      int
+		dataDelivered int
+		workDone      bool
+	)
+	w.Destination.OnDataReceived(func(*wire.Data, wire.NodeID) { dataDelivered++ })
+
+	// The workload behaves like a real application over AODV: verify a
+	// route, stream packets, and on a broken link (or a detected attack)
+	// re-establish — within a bounded budget — and resume.
+	remaining := w.Cfg.DataPackets
+	budget := 4
+	var establish func()
+	var pump func()
+	pump = func() {
+		if remaining <= 0 {
+			workDone = true
+			return
+		}
+		if err := w.Source.SendData(w.Destination.NodeID(), []byte("telemetry")); err != nil {
+			establish() // mobility broke the route; find a new one
+			return
+		}
+		dataSent++
+		remaining--
+		if remaining == 0 {
+			workDone = true
+			return
+		}
+		w.Sched.After(dataGap, pump)
+	}
+	establish = func() {
+		if budget <= 0 {
+			workDone = true
+			return
+		}
+		budget--
+		err := w.Source.EstablishRoute(w.Destination.NodeID(), func(res core.EstablishResult) {
+			finalStatus = res.Status
+			statusKnown = true
+			switch res.Status {
+			case core.StatusVerified, core.StatusUnverified:
+				pump()
+			case core.StatusDetected:
+				// The attacker is isolated. Its forged high-sequence route
+				// entries poisoned relay tables along the reply path; they
+				// heal when the AODV route lifetime lapses, and the
+				// blacklist stops re-infection. Retry after the lifetime so
+				// the delivery measurement sees the healed network.
+				heal := aodv.DefaultConfig().RouteLifetime + time.Second
+				w.Sched.After(heal, establish)
+			default:
+				workDone = true
+			}
+		})
+		if err != nil {
+			workDone = true
+		}
+	}
+	w.Sched.After(establishAt, establish)
+
+	// Drive the run: stop once the workload settled (plus a grace period
+	// for isolation traffic) or at the hard limit.
+	var doneAt time.Duration
+	for w.Sched.Now() < w.Cfg.MaxSimTime {
+		w.Sched.RunFor(500 * time.Millisecond)
+		if workDone && doneAt == 0 {
+			doneAt = w.Sched.Now()
+		}
+		if doneAt != 0 && w.Sched.Now() >= doneAt+grace {
+			break
+		}
+	}
+
+	return w.extractOutcome(finalStatus, statusKnown, dataSent, dataDelivered)
+}
+
+func (w *World) extractOutcome(status core.EstablishStatus, statusKnown bool, sent, delivered int) metrics.Outcome {
+	o := metrics.Outcome{
+		Seed:            w.Cfg.Seed,
+		AttackerPresent: w.Cfg.Attack != NoAttack,
+		Cooperative:     w.Cfg.Attack == CooperativeBlackHole,
+		AttackerCluster: w.Cfg.AttackerCluster,
+		DataSent:        sent,
+		DataDelivered:   delivered,
+		Duration:        w.Sched.Now(),
+	}
+	if statusKnown {
+		o.EstablishStatus = status.String()
+	}
+	air := w.Env.Medium.Stats().SentFrames
+	o.AirFrames = air.Frames
+	o.AirBytes = air.Bytes
+
+	if o.AttackerPresent {
+		o.AttackersPresent = 1 + len(w.Extras)
+	}
+	extraIDs := func(id wire.NodeID) bool {
+		for _, h := range w.Extras {
+			if h.ids[id] {
+				return true
+			}
+		}
+		return false
+	}
+	var primaryCase *core.CaseTally
+	for _, ct := range w.Env.Tally.Cases() {
+		isAttacker := w.attackerIDs[ct.Suspect]
+		isTeammate := w.teammateIDs[ct.Suspect]
+		if ct.Verdict == wire.VerdictMalicious {
+			switch {
+			case isAttacker:
+				o.Detected = true
+			case isTeammate:
+				o.TeammateDetected = true
+			case extraIDs(ct.Suspect):
+				// counted below, per hostile
+			default:
+				o.FalseAccusations++
+			}
+			if ct.Teammate != 0 && w.teammateIDs[ct.Teammate] {
+				o.TeammateDetected = true
+			}
+		}
+		if isAttacker && (primaryCase == nil || ct.DetectionPackets() > primaryCase.DetectionPackets()) {
+			primaryCase = ct
+		}
+	}
+	if o.Detected {
+		o.AttackersDetected++
+	}
+	for _, h := range w.Extras {
+		if h.detectedIn(w.Env.Tally) {
+			o.AttackersDetected++
+		}
+	}
+	if primaryCase != nil {
+		o.DetectionPackets = primaryCase.DetectionPackets()
+		o.IsolationPackets = primaryCase.IsolationPackets
+		if primaryCase.ResolvedAt > primaryCase.ReportedAt {
+			o.DetectionLatency = primaryCase.ResolvedAt - primaryCase.ReportedAt
+		}
+	}
+	if o.AttackerPresent && !o.Detected && w.AttackerBH != nil {
+		forged := w.AttackerBH.Stats().RepliesForged > 0
+		avoided := status == core.StatusPrevented ||
+			(status == core.StatusVerified && w.AttackerBH.Stats().DataDropped == 0)
+		o.Prevented = forged && statusKnown && avoided
+	}
+	return o
+}
+
+// Run builds and executes one scenario, returning its outcome.
+func Run(cfg Config) (metrics.Outcome, error) {
+	w, err := Build(cfg)
+	if err != nil {
+		return metrics.Outcome{}, err
+	}
+	return w.Run(), nil
+}
+
+// RunMany executes reps independent runs of cfg with derived seeds and
+// returns every outcome. mutate, when non-nil, adjusts the config per rep
+// (after the seed is assigned).
+func RunMany(cfg Config, reps int, mutate func(rep int, c *Config)) ([]metrics.Outcome, error) {
+	outcomes := make([]metrics.Outcome, 0, reps)
+	for rep := 0; rep < reps; rep++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(rep)*7919
+		if mutate != nil {
+			mutate(rep, &c)
+		}
+		o, err := Run(c)
+		if err != nil {
+			return nil, err
+		}
+		outcomes = append(outcomes, o)
+	}
+	return outcomes, nil
+}

@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkScheduleFire measures raw event throughput: schedule + fire.
+func BenchmarkScheduleFire(b *testing.B) {
+	s := NewScheduler()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Microsecond, func() {})
+		s.Step()
+	}
+}
+
+// BenchmarkScheduleBurst measures heap behaviour with many pending events.
+func BenchmarkScheduleBurst(b *testing.B) {
+	const burst = 1024
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := NewScheduler()
+		rng := NewRNG(int64(i))
+		for j := 0; j < burst; j++ {
+			s.At(time.Duration(rng.IntN(1_000_000)), func() {})
+		}
+		s.Run()
+	}
+}
+
+// BenchmarkTimerCancel measures schedule-then-cancel (the protocol stack's
+// dominant timer pattern).
+func BenchmarkTimerCancel(b *testing.B) {
+	s := NewScheduler()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := s.After(time.Second, func() {})
+		t.Stop()
+	}
+}
+
+// BenchmarkRNGDraws measures the decision-stream cost.
+func BenchmarkRNGDraws(b *testing.B) {
+	g := NewRNG(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = g.Float64()
+		_ = g.Jitter(time.Millisecond)
+	}
+}

@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"time"
+)
+
+// RNG is a deterministic random stream for simulation decisions. Distinct
+// protocol layers should use distinct streams (via Split) so that adding a
+// random draw in one layer does not perturb another layer's sequence.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a stream seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Split derives an independent child stream from this stream's state and a
+// label. Two children with different labels are decorrelated; the same label
+// drawn at the same point in the parent sequence replays identically.
+func (g *RNG) Split(label string) *RNG {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(label))
+	return NewRNG(int64(h.Sum64()) ^ g.r.Int63())
+}
+
+// Float64 returns a uniform draw in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// IntN returns a uniform draw in [0, n). It panics if n <= 0.
+func (g *RNG) IntN(n int) int { return g.r.Intn(n) }
+
+// Int63 returns a uniform non-negative int64.
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
+// Uint64 returns a uniform uint64.
+func (g *RNG) Uint64() uint64 { return g.r.Uint64() }
+
+// Bool returns true with probability p (clamped to [0, 1]).
+func (g *RNG) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return g.r.Float64() < p
+}
+
+// Range returns a uniform draw in [lo, hi). It panics if hi < lo; lo == hi
+// returns lo.
+func (g *RNG) Range(lo, hi float64) float64 {
+	if hi < lo {
+		panic("sim: RNG.Range with hi < lo")
+	}
+	if hi == lo {
+		return lo
+	}
+	return lo + g.r.Float64()*(hi-lo)
+}
+
+// Duration returns a uniform draw in [lo, hi). It panics if hi < lo; lo == hi
+// returns lo.
+func (g *RNG) Duration(lo, hi time.Duration) time.Duration {
+	if hi < lo {
+		panic("sim: RNG.Duration with hi < lo")
+	}
+	if hi == lo {
+		return lo
+	}
+	return lo + time.Duration(g.r.Int63n(int64(hi-lo)))
+}
+
+// Jitter returns a uniform draw in [0, max).
+func (g *RNG) Jitter(max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	return time.Duration(g.r.Int63n(int64(max)))
+}
+
+// Reader returns an io.Reader view of the stream, for seeding key
+// generation deterministically.
+func (g *RNG) Reader() io.Reader { return rngReader{g} }
+
+type rngReader struct{ g *RNG }
+
+func (r rngReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = byte(r.g.r.Intn(256))
+	}
+	return len(p), nil
+}
+
+// Perm returns a random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Shuffle randomises the order of n elements using swap.
+func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }

@@ -1,0 +1,209 @@
+// Package sim provides a deterministic discrete-event simulation engine:
+// a virtual clock, an event scheduler with cancellable timers, and seeded
+// random-number streams.
+//
+// All simulated activity runs on a single goroutine inside Scheduler.Run (or
+// its bounded variants), so protocol code never needs locks and every run
+// with the same seed replays identically. Events scheduled for the same
+// instant fire in FIFO order of scheduling, which keeps broadcast fan-out
+// deterministic.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Event is a unit of scheduled work. Events are created through Scheduler.At
+// and Scheduler.After and are not reusable.
+type event struct {
+	time  time.Duration
+	seq   uint64 // tie-breaker: FIFO among equal times
+	index int    // heap index, -1 once popped or cancelled
+	fn    func()
+}
+
+// Timer is a handle to a scheduled event that can be cancelled before it
+// fires. The zero value is an inert, already-stopped timer.
+type Timer struct {
+	s  *Scheduler
+	ev *event
+}
+
+// Stop cancels the timer. It reports whether the call prevented the event
+// from firing: false means the event already ran, was already stopped, or the
+// timer is the zero value.
+func (t *Timer) Stop() bool {
+	if t == nil || t.s == nil || t.ev == nil {
+		return false
+	}
+	ev := t.ev
+	t.ev = nil
+	if ev.index < 0 {
+		return false
+	}
+	heap.Remove(&t.s.events, ev.index)
+	return true
+}
+
+// Active reports whether the timer is still pending.
+func (t *Timer) Active() bool {
+	return t != nil && t.ev != nil && t.ev.index >= 0
+}
+
+// Scheduler is a discrete-event scheduler. The zero value is ready to use,
+// with the clock at zero.
+type Scheduler struct {
+	now       time.Duration
+	seq       uint64
+	events    eventHeap
+	executed  uint64
+	running   bool
+	stopped   bool
+	idleHooks []func()
+}
+
+// NewScheduler returns an empty scheduler with the clock at zero.
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// Executed returns the number of events that have fired so far.
+func (s *Scheduler) Executed() uint64 { return s.executed }
+
+// Pending returns the number of events waiting to fire.
+func (s *Scheduler) Pending() int { return s.events.Len() }
+
+// At schedules fn to run at absolute virtual time t and returns a cancellable
+// handle. Scheduling in the past (t < Now) panics: it is always a protocol
+// bug, and silently reordering time would mask it.
+func (s *Scheduler) At(t time.Duration, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: At called with nil func")
+	}
+	if t < s.now {
+		panic(fmt.Sprintf("sim: At(%v) is in the past (now %v)", t, s.now))
+	}
+	ev := &event{time: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, ev)
+	return &Timer{s: s, ev: ev}
+}
+
+// After schedules fn to run d from now. Negative d panics, as with At.
+func (s *Scheduler) After(d time.Duration, fn func()) *Timer {
+	return s.At(s.now+d, fn)
+}
+
+// Stop makes the current Run/RunUntil/RunFor call return after the event in
+// progress completes. It may only be called from inside an event callback.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// OnIdle registers fn to run when the event queue drains while Run is
+// active. Hooks may schedule new events; they run in registration order each
+// time the queue empties.
+func (s *Scheduler) OnIdle(fn func()) {
+	if fn == nil {
+		panic("sim: OnIdle called with nil func")
+	}
+	s.idleHooks = append(s.idleHooks, fn)
+}
+
+// Step fires the single earliest pending event. It reports whether an event
+// fired.
+func (s *Scheduler) Step() bool {
+	if s.events.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&s.events).(*event)
+	if ev.time < s.now {
+		panic("sim: event heap yielded an event in the past")
+	}
+	s.now = ev.time
+	s.executed++
+	ev.fn()
+	return true
+}
+
+// Run fires events until the queue is empty (after idle hooks have had a
+// chance to refill it) or Stop is called.
+func (s *Scheduler) Run() {
+	s.RunUntil(maxDuration)
+}
+
+const maxDuration = time.Duration(1<<63 - 1)
+
+// RunUntil fires events whose time is <= deadline, advancing the clock to
+// exactly deadline when it returns (unless Stop was called first). Events
+// scheduled after the deadline remain pending.
+func (s *Scheduler) RunUntil(deadline time.Duration) {
+	if s.running {
+		panic("sim: Run re-entered from inside an event")
+	}
+	s.running = true
+	s.stopped = false
+	defer func() { s.running = false }()
+
+	for !s.stopped {
+		if s.events.Len() == 0 {
+			n := s.events.Len()
+			for _, hook := range s.idleHooks {
+				hook()
+			}
+			if s.events.Len() == n { // hooks added nothing; truly drained
+				break
+			}
+			continue
+		}
+		if s.events[0].time > deadline {
+			break
+		}
+		s.Step()
+	}
+	if !s.stopped && deadline != maxDuration && s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// RunFor runs for d of virtual time from the current clock.
+func (s *Scheduler) RunFor(d time.Duration) {
+	s.RunUntil(s.now + d)
+}
+
+// eventHeap is a min-heap ordered by (time, seq).
+type eventHeap []*event
+
+var _ heap.Interface = (*eventHeap)(nil)
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,133 @@
+// Package trace records a structured event log of a simulation run: joins,
+// route discoveries, verification steps, detection probes, verdicts and
+// isolation actions. Agents log through a *Recorder; a nil Recorder is
+// valid and free, so tracing is zero-cost when disabled.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"blackdp/internal/wire"
+)
+
+// Category classifies an event for filtering.
+type Category string
+
+// Event categories used by the agents.
+const (
+	CatMobility  Category = "mobility"
+	CatCluster   Category = "cluster"
+	CatRouting   Category = "routing"
+	CatVerify    Category = "verify"
+	CatDetect    Category = "detect"
+	CatIsolate   Category = "isolate"
+	CatAttack    Category = "attack"
+	CatAuthority Category = "authority"
+)
+
+// Event is one recorded simulation event.
+type Event struct {
+	At       time.Duration
+	Node     wire.NodeID
+	Category Category
+	Message  string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%12s  %-10s %-9s %s", e.At.Round(time.Microsecond), e.Node, e.Category, e.Message)
+}
+
+// Clock yields the current virtual time.
+type Clock func() time.Duration
+
+// Recorder accumulates events up to a capacity (oldest dropped first). The
+// zero value is unusable; nil is a valid no-op recorder.
+type Recorder struct {
+	clock   Clock
+	events  []Event
+	cap     int
+	dropped uint64
+}
+
+// NewRecorder creates a recorder reading timestamps from clock, retaining at
+// most capacity events (<=0 means a generous default).
+func NewRecorder(clock Clock, capacity int) *Recorder {
+	if clock == nil {
+		panic("trace: NewRecorder requires a clock")
+	}
+	if capacity <= 0 {
+		capacity = 65536
+	}
+	return &Recorder{clock: clock, cap: capacity}
+}
+
+// Logf records a formatted event. A nil recorder discards it.
+func (r *Recorder) Logf(node wire.NodeID, cat Category, format string, args ...any) {
+	if r == nil {
+		return
+	}
+	if len(r.events) >= r.cap {
+		copy(r.events, r.events[1:])
+		r.events = r.events[:len(r.events)-1]
+		r.dropped++
+	}
+	r.events = append(r.events, Event{
+		At:       r.clock(),
+		Node:     node,
+		Category: cat,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Events returns a copy of the retained events in order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Dropped returns how many events were evicted by the capacity bound.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.dropped
+}
+
+// Filter returns the retained events matching the given categories (all, if
+// none given) and node (any, if wire.Broadcast).
+func (r *Recorder) Filter(node wire.NodeID, cats ...Category) []Event {
+	if r == nil {
+		return nil
+	}
+	want := make(map[Category]bool, len(cats))
+	for _, c := range cats {
+		want[c] = true
+	}
+	var out []Event
+	for _, e := range r.events {
+		if node != wire.Broadcast && e.Node != node {
+			continue
+		}
+		if len(want) > 0 && !want[e.Category] {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Dump writes every retained event to w, one per line.
+func (r *Recorder) Dump(w io.Writer) error {
+	for _, e := range r.Events() {
+		if _, err := fmt.Fprintln(w, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

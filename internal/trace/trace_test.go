@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"blackdp/internal/wire"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	now := time.Duration(0)
+	r := NewRecorder(func() time.Duration { return now }, 0)
+	r.Logf(1, CatDetect, "probe %d", 1)
+	now = time.Second
+	r.Logf(2, CatIsolate, "revoked %v", wire.NodeID(66))
+
+	evs := r.Events()
+	if len(evs) != 2 {
+		t.Fatalf("Events() returned %d, want 2", len(evs))
+	}
+	if evs[0].At != 0 || evs[0].Node != 1 || evs[0].Category != CatDetect || evs[0].Message != "probe 1" {
+		t.Errorf("event 0 = %+v", evs[0])
+	}
+	if evs[1].At != time.Second || evs[1].Message != "revoked n66" {
+		t.Errorf("event 1 = %+v", evs[1])
+	}
+}
+
+func TestRecorderCapacityEvictsOldest(t *testing.T) {
+	r := NewRecorder(func() time.Duration { return 0 }, 3)
+	for i := 0; i < 5; i++ {
+		r.Logf(wire.NodeID(i), CatRouting, "e%d", i)
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d events, want 3", len(evs))
+	}
+	if evs[0].Message != "e2" || evs[2].Message != "e4" {
+		t.Errorf("wrong retention window: %v .. %v", evs[0].Message, evs[2].Message)
+	}
+	if r.Dropped() != 2 {
+		t.Errorf("Dropped() = %d, want 2", r.Dropped())
+	}
+}
+
+func TestRecorderFilter(t *testing.T) {
+	r := NewRecorder(func() time.Duration { return 0 }, 0)
+	r.Logf(1, CatDetect, "a")
+	r.Logf(2, CatDetect, "b")
+	r.Logf(1, CatIsolate, "c")
+
+	if got := r.Filter(1); len(got) != 2 {
+		t.Errorf("Filter(node 1) = %d events, want 2", len(got))
+	}
+	if got := r.Filter(wire.Broadcast, CatDetect); len(got) != 2 {
+		t.Errorf("Filter(detect) = %d events, want 2", len(got))
+	}
+	if got := r.Filter(1, CatIsolate); len(got) != 1 || got[0].Message != "c" {
+		t.Errorf("Filter(1, isolate) = %+v", got)
+	}
+}
+
+func TestNilRecorderIsInert(t *testing.T) {
+	var r *Recorder
+	r.Logf(1, CatDetect, "x") // must not panic
+	if r.Events() != nil || r.Filter(1) != nil || r.Dropped() != 0 {
+		t.Error("nil recorder not inert")
+	}
+}
+
+func TestDump(t *testing.T) {
+	r := NewRecorder(func() time.Duration { return 1500 * time.Microsecond }, 0)
+	r.Logf(7, CatVerify, "hello")
+	var sb strings.Builder
+	if err := r.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"n7", "verify", "hello", "1.5ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q: %q", want, out)
+		}
+	}
+}
+
+func TestEventsCopyIsolated(t *testing.T) {
+	r := NewRecorder(func() time.Duration { return 0 }, 0)
+	r.Logf(1, CatDetect, "a")
+	evs := r.Events()
+	evs[0].Message = "mutated"
+	if r.Events()[0].Message != "a" {
+		t.Error("Events() exposes internal storage")
+	}
+}

@@ -1,0 +1,73 @@
+package wire
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkMarshalRREQ(b *testing.B) {
+	p := &RREQ{FloodID: 7, Origin: 11, Dest: 42, DestSeq: 9, HopCount: 2, TTL: 30}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.MarshalBinary(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeRREQ(b *testing.B) {
+	p := &RREQ{FloodID: 7, Origin: 11, Dest: 42, DestSeq: 9, HopCount: 2, TTL: 30}
+	buf, err := p.MarshalBinary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMarshalSecureEnvelope(b *testing.B) {
+	inner, err := (&RREP{Origin: 1, Dest: 7, DestSeq: 200, HopCount: 4, Issuer: 66}).MarshalBinary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := &Secure{
+		Inner: inner,
+		Cert: Certificate{
+			Serial: 5, Node: 66, Authority: 1,
+			PubKey: make([]byte, 91), Expiry: time.Hour, Signature: make([]byte, 73),
+		},
+		Signature: make([]byte, 73),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.MarshalBinary(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeSecureEnvelope(b *testing.B) {
+	inner, _ := (&RREP{Origin: 1, Dest: 7, DestSeq: 200, Issuer: 66}).MarshalBinary()
+	p := &Secure{
+		Inner: inner,
+		Cert: Certificate{
+			Serial: 5, Node: 66, Authority: 1,
+			PubKey: make([]byte, 91), Expiry: time.Hour, Signature: make([]byte, 73),
+		},
+		Signature: make([]byte, 73),
+	}
+	buf, err := p.MarshalBinary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,633 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Codec errors.
+var (
+	// ErrTruncated reports a buffer that ended before the packet did.
+	ErrTruncated = errors.New("wire: truncated packet")
+	// ErrBadKind reports an unknown leading Kind byte.
+	ErrBadKind = errors.New("wire: unknown packet kind")
+	// ErrTooLong reports a variable-length field exceeding its wire bound.
+	ErrTooLong = errors.New("wire: field too long")
+)
+
+// maxVarLen bounds every variable-length field (payloads, keys, signatures,
+// lists) to keep decoders allocation-safe on hostile input.
+const maxVarLen = 1 << 16
+
+// writer appends big-endian fields to a buffer.
+type writer struct {
+	buf []byte
+}
+
+func newWriter(kind Kind, sizeHint int) *writer {
+	w := &writer{buf: make([]byte, 0, sizeHint+1)}
+	w.u8(uint8(kind))
+	return w
+}
+
+func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *writer) u16(v uint16) { w.buf = binary.BigEndian.AppendUint16(w.buf, v) }
+func (w *writer) u32(v uint32) { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64) { w.buf = binary.BigEndian.AppendUint64(w.buf, v) }
+func (w *writer) f64(v float64) {
+	w.u64(math.Float64bits(v))
+}
+
+func (w *writer) boolean(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+
+func (w *writer) duration(d time.Duration) { w.u64(uint64(d)) }
+
+func (w *writer) bytes(b []byte) error {
+	if len(b) > maxVarLen {
+		return fmt.Errorf("%w: %d bytes", ErrTooLong, len(b))
+	}
+	w.u16(uint16(len(b)))
+	w.buf = append(w.buf, b...)
+	return nil
+}
+
+// reader consumes big-endian fields from a buffer, latching the first error.
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func newReader(b []byte) *reader { return &reader{buf: b} }
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.buf) {
+		r.err = ErrTruncated
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *reader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *reader) boolean() bool { return r.u8() != 0 }
+
+func (r *reader) duration() time.Duration { return time.Duration(r.u64()) }
+
+func (r *reader) bytes() []byte {
+	n := int(r.u16())
+	b := r.take(n)
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+// finish returns the latched error, also failing if trailing bytes remain.
+func (r *reader) finish() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.buf) {
+		return fmt.Errorf("wire: %d trailing bytes", len(r.buf)-r.off)
+	}
+	return nil
+}
+
+// Decode parses a packet from its wire bytes, dispatching on the leading
+// Kind byte.
+func Decode(b []byte) (Packet, error) {
+	if len(b) == 0 {
+		return nil, ErrTruncated
+	}
+	kind := Kind(b[0])
+	body := b[1:]
+	var (
+		p   Packet
+		err error
+	)
+	switch kind {
+	case KindRREQ:
+		p, err = decodeRREQ(body)
+	case KindRREP:
+		p, err = decodeRREP(body)
+	case KindRERR:
+		p, err = decodeRERR(body)
+	case KindHello:
+		p, err = decodeHello(body)
+	case KindData:
+		p, err = decodeData(body)
+	case KindJoinReq:
+		p, err = decodeJoinReq(body)
+	case KindJoinRep:
+		p, err = decodeJoinRep(body)
+	case KindLeave:
+		p, err = decodeLeave(body)
+	case KindDetectReq:
+		p, err = decodeDetectReq(body)
+	case KindDetectResp:
+		p, err = decodeDetectResp(body)
+	case KindRevocationReq:
+		p, err = decodeRevocationReq(body)
+	case KindRevocationNotice:
+		p, err = decodeRevocationNotice(body)
+	case KindBlacklistNotice:
+		p, err = decodeBlacklistNotice(body)
+	case KindRenewalReq:
+		p, err = decodeRenewalReq(body)
+	case KindRenewalResp:
+		p, err = decodeRenewalResp(body)
+	case KindSecure:
+		p, err = decodeSecure(body)
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrBadKind, uint8(kind))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wire: decoding %v: %w", kind, err)
+	}
+	return p, nil
+}
+
+// MarshalBinary implements Packet.
+func (p *RREQ) MarshalBinary() ([]byte, error) {
+	w := newWriter(KindRREQ, 31)
+	w.u32(p.FloodID)
+	w.u64(uint64(p.Origin))
+	w.u32(uint32(p.OriginSeq))
+	w.u64(uint64(p.Dest))
+	w.u32(uint32(p.DestSeq))
+	w.u8(p.HopCount)
+	w.u8(p.TTL)
+	w.boolean(p.WantNext)
+	return w.buf, nil
+}
+
+func decodeRREQ(b []byte) (*RREQ, error) {
+	r := newReader(b)
+	p := &RREQ{
+		FloodID:   r.u32(),
+		Origin:    NodeID(r.u64()),
+		OriginSeq: SeqNum(r.u32()),
+		Dest:      NodeID(r.u64()),
+		DestSeq:   SeqNum(r.u32()),
+		HopCount:  r.u8(),
+		TTL:       r.u8(),
+		WantNext:  r.boolean(),
+	}
+	return p, r.finish()
+}
+
+// MarshalBinary implements Packet.
+func (p *RREP) MarshalBinary() ([]byte, error) {
+	w := newWriter(KindRREP, 47)
+	w.u64(uint64(p.Origin))
+	w.u64(uint64(p.Dest))
+	w.u32(uint32(p.DestSeq))
+	w.u8(p.HopCount)
+	w.duration(p.Lifetime)
+	w.u64(uint64(p.Issuer))
+	w.u16(uint16(p.IssuerCluster))
+	w.u64(uint64(p.NextHop))
+	return w.buf, nil
+}
+
+func decodeRREP(b []byte) (*RREP, error) {
+	r := newReader(b)
+	p := &RREP{
+		Origin:        NodeID(r.u64()),
+		Dest:          NodeID(r.u64()),
+		DestSeq:       SeqNum(r.u32()),
+		HopCount:      r.u8(),
+		Lifetime:      r.duration(),
+		Issuer:        NodeID(r.u64()),
+		IssuerCluster: ClusterID(r.u16()),
+		NextHop:       NodeID(r.u64()),
+	}
+	return p, r.finish()
+}
+
+// MarshalBinary implements Packet.
+func (p *RERR) MarshalBinary() ([]byte, error) {
+	if len(p.Unreachable) > maxVarLen {
+		return nil, fmt.Errorf("%w: %d unreachable entries", ErrTooLong, len(p.Unreachable))
+	}
+	w := newWriter(KindRERR, 10+12*len(p.Unreachable))
+	w.u64(uint64(p.Reporter))
+	w.u16(uint16(len(p.Unreachable)))
+	for _, u := range p.Unreachable {
+		w.u64(uint64(u.Node))
+		w.u32(uint32(u.Seq))
+	}
+	return w.buf, nil
+}
+
+func decodeRERR(b []byte) (*RERR, error) {
+	r := newReader(b)
+	p := &RERR{Reporter: NodeID(r.u64())}
+	n := int(r.u16())
+	for i := 0; i < n && r.err == nil; i++ {
+		p.Unreachable = append(p.Unreachable, UnreachableDest{
+			Node: NodeID(r.u64()),
+			Seq:  SeqNum(r.u32()),
+		})
+	}
+	return p, r.finish()
+}
+
+// MarshalBinary implements Packet.
+func (p *Hello) MarshalBinary() ([]byte, error) {
+	w := newWriter(KindHello, 26)
+	w.u64(uint64(p.Origin))
+	w.u64(uint64(p.Dest))
+	w.u64(p.Nonce)
+	w.boolean(p.Reply)
+	w.u8(p.Hops)
+	return w.buf, nil
+}
+
+func decodeHello(b []byte) (*Hello, error) {
+	r := newReader(b)
+	p := &Hello{
+		Origin: NodeID(r.u64()),
+		Dest:   NodeID(r.u64()),
+		Nonce:  r.u64(),
+		Reply:  r.boolean(),
+		Hops:   r.u8(),
+	}
+	return p, r.finish()
+}
+
+// MarshalBinary implements Packet.
+func (p *Data) MarshalBinary() ([]byte, error) {
+	w := newWriter(KindData, 22+len(p.Payload))
+	w.u64(uint64(p.Origin))
+	w.u64(uint64(p.Dest))
+	w.u32(p.SeqNo)
+	if err := w.bytes(p.Payload); err != nil {
+		return nil, err
+	}
+	return w.buf, nil
+}
+
+func decodeData(b []byte) (*Data, error) {
+	r := newReader(b)
+	p := &Data{
+		Origin:  NodeID(r.u64()),
+		Dest:    NodeID(r.u64()),
+		SeqNo:   r.u32(),
+		Payload: r.bytes(),
+	}
+	return p, r.finish()
+}
+
+// MarshalBinary implements Packet.
+func (p *JoinReq) MarshalBinary() ([]byte, error) {
+	w := newWriter(KindJoinReq, 34)
+	w.u64(uint64(p.Vehicle))
+	w.f64(p.PosX)
+	w.f64(p.PosY)
+	w.f64(p.SpeedMS)
+	w.boolean(p.Eastbound)
+	w.boolean(p.Overlapped)
+	return w.buf, nil
+}
+
+func decodeJoinReq(b []byte) (*JoinReq, error) {
+	r := newReader(b)
+	p := &JoinReq{
+		Vehicle:    NodeID(r.u64()),
+		PosX:       r.f64(),
+		PosY:       r.f64(),
+		SpeedMS:    r.f64(),
+		Eastbound:  r.boolean(),
+		Overlapped: r.boolean(),
+	}
+	return p, r.finish()
+}
+
+// MarshalBinary implements Packet.
+func (p *JoinRep) MarshalBinary() ([]byte, error) {
+	w := newWriter(KindJoinRep, 18)
+	w.u64(uint64(p.Head))
+	w.u16(uint16(p.Cluster))
+	w.u64(uint64(p.Vehicle))
+	return w.buf, nil
+}
+
+func decodeJoinRep(b []byte) (*JoinRep, error) {
+	r := newReader(b)
+	p := &JoinRep{
+		Head:    NodeID(r.u64()),
+		Cluster: ClusterID(r.u16()),
+		Vehicle: NodeID(r.u64()),
+	}
+	return p, r.finish()
+}
+
+// MarshalBinary implements Packet.
+func (p *Leave) MarshalBinary() ([]byte, error) {
+	w := newWriter(KindLeave, 10)
+	w.u64(uint64(p.Vehicle))
+	w.u16(uint16(p.Cluster))
+	return w.buf, nil
+}
+
+func decodeLeave(b []byte) (*Leave, error) {
+	r := newReader(b)
+	p := &Leave{
+		Vehicle: NodeID(r.u64()),
+		Cluster: ClusterID(r.u16()),
+	}
+	return p, r.finish()
+}
+
+// MarshalBinary implements Packet.
+func (p *DetectReq) MarshalBinary() ([]byte, error) {
+	w := newWriter(KindDetectReq, 40)
+	w.u64(uint64(p.Reporter))
+	w.u16(uint16(p.ReporterCluster))
+	w.u64(uint64(p.Suspect))
+	w.u16(uint16(p.SuspectCluster))
+	w.u64(p.SuspectSerial)
+	w.u64(uint64(p.FakeDest))
+	w.u32(uint32(p.PriorSeq))
+	w.u8(p.Forwards)
+	return w.buf, nil
+}
+
+func decodeDetectReq(b []byte) (*DetectReq, error) {
+	r := newReader(b)
+	p := &DetectReq{
+		Reporter:        NodeID(r.u64()),
+		ReporterCluster: ClusterID(r.u16()),
+		Suspect:         NodeID(r.u64()),
+		SuspectCluster:  ClusterID(r.u16()),
+		SuspectSerial:   r.u64(),
+		FakeDest:        NodeID(r.u64()),
+		PriorSeq:        SeqNum(r.u32()),
+		Forwards:        r.u8(),
+	}
+	return p, r.finish()
+}
+
+// MarshalBinary implements Packet.
+func (p *DetectResp) MarshalBinary() ([]byte, error) {
+	w := newWriter(KindDetectResp, 25)
+	w.u64(uint64(p.Reporter))
+	w.u64(uint64(p.Suspect))
+	w.u8(uint8(p.Verdict))
+	w.u64(uint64(p.Teammate))
+	return w.buf, nil
+}
+
+func decodeDetectResp(b []byte) (*DetectResp, error) {
+	r := newReader(b)
+	p := &DetectResp{
+		Reporter: NodeID(r.u64()),
+		Suspect:  NodeID(r.u64()),
+		Verdict:  Verdict(r.u8()),
+		Teammate: NodeID(r.u64()),
+	}
+	return p, r.finish()
+}
+
+// MarshalBinary implements Packet.
+func (p *RevocationReq) MarshalBinary() ([]byte, error) {
+	w := newWriter(KindRevocationReq, 26)
+	w.u64(uint64(p.Head))
+	w.u64(uint64(p.Suspect))
+	w.u64(p.CertSerial)
+	w.u16(uint16(p.Cluster))
+	return w.buf, nil
+}
+
+func decodeRevocationReq(b []byte) (*RevocationReq, error) {
+	r := newReader(b)
+	p := &RevocationReq{
+		Head:       NodeID(r.u64()),
+		Suspect:    NodeID(r.u64()),
+		CertSerial: r.u64(),
+		Cluster:    ClusterID(r.u16()),
+	}
+	return p, r.finish()
+}
+
+func (w *writer) revokedCert(rc RevokedCert) {
+	w.u64(uint64(rc.Node))
+	w.u64(rc.CertSerial)
+	w.duration(rc.Expiry)
+}
+
+func (r *reader) revokedCert() RevokedCert {
+	return RevokedCert{
+		Node:       NodeID(r.u64()),
+		CertSerial: r.u64(),
+		Expiry:     r.duration(),
+	}
+}
+
+// MarshalBinary implements Packet.
+func (p *RevocationNotice) MarshalBinary() ([]byte, error) {
+	w := newWriter(KindRevocationNotice, 26)
+	w.u16(uint16(p.Authority))
+	w.revokedCert(p.Revoked)
+	return w.buf, nil
+}
+
+func decodeRevocationNotice(b []byte) (*RevocationNotice, error) {
+	r := newReader(b)
+	p := &RevocationNotice{
+		Authority: AuthorityID(r.u16()),
+		Revoked:   r.revokedCert(),
+	}
+	return p, r.finish()
+}
+
+// MarshalBinary implements Packet.
+func (p *BlacklistNotice) MarshalBinary() ([]byte, error) {
+	if len(p.Revoked) > maxVarLen {
+		return nil, fmt.Errorf("%w: %d blacklist entries", ErrTooLong, len(p.Revoked))
+	}
+	w := newWriter(KindBlacklistNotice, 12+24*len(p.Revoked))
+	w.u64(uint64(p.Head))
+	w.u16(uint16(p.Cluster))
+	w.u16(uint16(len(p.Revoked)))
+	for _, rc := range p.Revoked {
+		w.revokedCert(rc)
+	}
+	return w.buf, nil
+}
+
+func decodeBlacklistNotice(b []byte) (*BlacklistNotice, error) {
+	r := newReader(b)
+	p := &BlacklistNotice{
+		Head:    NodeID(r.u64()),
+		Cluster: ClusterID(r.u16()),
+	}
+	n := int(r.u16())
+	for i := 0; i < n && r.err == nil; i++ {
+		p.Revoked = append(p.Revoked, r.revokedCert())
+	}
+	return p, r.finish()
+}
+
+// MarshalBinary implements Packet.
+func (p *RenewalReq) MarshalBinary() ([]byte, error) {
+	w := newWriter(KindRenewalReq, 18+len(p.NewPubKey))
+	w.u64(uint64(p.Current))
+	w.u64(p.CertSerial)
+	if err := w.bytes(p.NewPubKey); err != nil {
+		return nil, err
+	}
+	return w.buf, nil
+}
+
+func decodeRenewalReq(b []byte) (*RenewalReq, error) {
+	r := newReader(b)
+	p := &RenewalReq{
+		Current:    NodeID(r.u64()),
+		CertSerial: r.u64(),
+		NewPubKey:  r.bytes(),
+	}
+	return p, r.finish()
+}
+
+func (w *writer) certificate(c Certificate) error {
+	w.u64(c.Serial)
+	w.u64(uint64(c.Node))
+	w.u16(uint16(c.Authority))
+	if err := w.bytes(c.PubKey); err != nil {
+		return err
+	}
+	w.duration(c.Expiry)
+	return w.bytes(c.Signature)
+}
+
+func (r *reader) certificate() Certificate {
+	return Certificate{
+		Serial:    r.u64(),
+		Node:      NodeID(r.u64()),
+		Authority: AuthorityID(r.u16()),
+		PubKey:    r.bytes(),
+		Expiry:    r.duration(),
+		Signature: r.bytes(),
+	}
+}
+
+// MarshalBinary implements Packet.
+func (p *RenewalResp) MarshalBinary() ([]byte, error) {
+	w := newWriter(KindRenewalResp, 48+len(p.Cert.PubKey)+len(p.Cert.Signature))
+	w.u64(uint64(p.Requester))
+	w.boolean(p.Denied)
+	if err := w.certificate(p.Cert); err != nil {
+		return nil, err
+	}
+	return w.buf, nil
+}
+
+func decodeRenewalResp(b []byte) (*RenewalResp, error) {
+	r := newReader(b)
+	p := &RenewalResp{
+		Requester: NodeID(r.u64()),
+		Denied:    r.boolean(),
+		Cert:      r.certificate(),
+	}
+	return p, r.finish()
+}
+
+// Preimage returns the byte string a Trusted Authority signs when issuing
+// the certificate: every field except the signature itself.
+func (c *Certificate) Preimage() []byte {
+	w := &writer{buf: make([]byte, 0, 28+len(c.PubKey))}
+	w.u64(c.Serial)
+	w.u64(uint64(c.Node))
+	w.u16(uint16(c.Authority))
+	// PubKey length is bounded by construction (SEC1 P-256 point, 65 bytes);
+	// a too-long key would already have failed MarshalBinary.
+	_ = w.bytes(c.PubKey)
+	w.duration(c.Expiry)
+	return w.buf
+}
+
+// MarshalBinary implements Packet.
+func (p *Secure) MarshalBinary() ([]byte, error) {
+	w := newWriter(KindSecure, 50+len(p.Inner)+len(p.Cert.PubKey)+len(p.Cert.Signature)+len(p.Signature))
+	if err := w.bytes(p.Inner); err != nil {
+		return nil, err
+	}
+	if err := w.certificate(p.Cert); err != nil {
+		return nil, err
+	}
+	if err := w.bytes(p.Signature); err != nil {
+		return nil, err
+	}
+	return w.buf, nil
+}
+
+func decodeSecure(b []byte) (*Secure, error) {
+	r := newReader(b)
+	p := &Secure{
+		Inner:     r.bytes(),
+		Cert:      r.certificate(),
+		Signature: r.bytes(),
+	}
+	return p, r.finish()
+}
+
+// Size returns the on-air size of p in bytes, panicking on marshal failure
+// (only possible for over-length variable fields, a programming error).
+func Size(p Packet) int {
+	b, err := p.MarshalBinary()
+	if err != nil {
+		panic(fmt.Sprintf("wire: Size(%v): %v", p.Kind(), err))
+	}
+	return len(b)
+}

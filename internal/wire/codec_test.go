@@ -1,0 +1,354 @@
+package wire
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// samplePackets returns one representative instance of every packet kind.
+func samplePackets() []Packet {
+	return []Packet{
+		&RREQ{FloodID: 7, Origin: 11, OriginSeq: 3, Dest: 42, DestSeq: 9, HopCount: 2, TTL: 30, WantNext: true},
+		&RREP{Origin: 11, Dest: 42, DestSeq: 120, HopCount: 4, Lifetime: 3 * time.Second, Issuer: 13, IssuerCluster: 5, NextHop: 99},
+		&RERR{Reporter: 5, Unreachable: []UnreachableDest{{Node: 42, Seq: 8}, {Node: 43, Seq: 9}}},
+		&Hello{Origin: 1, Dest: 7, Nonce: 0xdeadbeef, Reply: true, Hops: 3},
+		&Data{Origin: 1, Dest: 7, SeqNo: 12, Payload: []byte("road closed ahead")},
+		&JoinReq{Vehicle: 21, PosX: 1234.5, PosY: 60.25, SpeedMS: 22.2, Eastbound: true, Overlapped: true},
+		&JoinRep{Head: 1001, Cluster: 3, Vehicle: 21},
+		&Leave{Vehicle: 21, Cluster: 3},
+		&DetectReq{Reporter: 21, ReporterCluster: 1, Suspect: 66, SuspectCluster: 2, SuspectSerial: 777, FakeDest: 50, PriorSeq: 250, Forwards: 1},
+		&DetectResp{Reporter: 21, Suspect: 66, Verdict: VerdictMalicious, Teammate: 67},
+		&RevocationReq{Head: 1002, Suspect: 66, CertSerial: 555, Cluster: 2},
+		&RevocationNotice{Authority: 1, Revoked: RevokedCert{Node: 66, CertSerial: 555, Expiry: time.Hour}},
+		&BlacklistNotice{Head: 1002, Cluster: 2, Revoked: []RevokedCert{
+			{Node: 66, CertSerial: 555, Expiry: time.Hour},
+			{Node: 67, CertSerial: 556, Expiry: 2 * time.Hour},
+		}},
+		&RenewalReq{Current: 21, CertSerial: 17, NewPubKey: []byte{4, 8, 15}},
+		&RenewalResp{Requester: 21, Denied: false, Cert: Certificate{
+			Serial: 18, Node: 121, Authority: 1,
+			PubKey: []byte{4, 1, 2, 3}, Expiry: time.Hour, Signature: []byte{9, 8, 7},
+		}},
+		&Secure{Inner: []byte{byte(KindHello), 0, 0}, Cert: Certificate{
+			Serial: 18, Node: 121, Authority: 1,
+			PubKey: []byte{4, 1, 2}, Expiry: time.Hour, Signature: []byte{5},
+		}, Signature: []byte{1, 2, 3, 4}},
+	}
+}
+
+func TestRoundTripAllKinds(t *testing.T) {
+	for _, p := range samplePackets() {
+		p := p
+		t.Run(p.Kind().String(), func(t *testing.T) {
+			b, err := p.MarshalBinary()
+			if err != nil {
+				t.Fatalf("MarshalBinary: %v", err)
+			}
+			if len(b) == 0 || Kind(b[0]) != p.Kind() {
+				t.Fatalf("leading kind byte = %v, want %v", b[0], p.Kind())
+			}
+			got, err := Decode(b)
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			if !reflect.DeepEqual(got, p) {
+				t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, p)
+			}
+		})
+	}
+}
+
+func TestDecodeEmptyAndBadKind(t *testing.T) {
+	if _, err := Decode(nil); !errors.Is(err, ErrTruncated) {
+		t.Errorf("Decode(nil) error = %v, want ErrTruncated", err)
+	}
+	if _, err := Decode([]byte{0xff}); !errors.Is(err, ErrBadKind) {
+		t.Errorf("Decode(0xff) error = %v, want ErrBadKind", err)
+	}
+	if _, err := Decode([]byte{0}); !errors.Is(err, ErrBadKind) {
+		t.Errorf("Decode(0) error = %v, want ErrBadKind", err)
+	}
+}
+
+// TestDecodeTruncations checks every strict prefix of every sample packet
+// fails cleanly rather than panicking or succeeding.
+func TestDecodeTruncations(t *testing.T) {
+	for _, p := range samplePackets() {
+		b, err := p.MarshalBinary()
+		if err != nil {
+			t.Fatalf("%v: MarshalBinary: %v", p.Kind(), err)
+		}
+		for n := 1; n < len(b); n++ {
+			if _, err := Decode(b[:n]); err == nil {
+				t.Errorf("%v: Decode of %d/%d-byte prefix succeeded", p.Kind(), n, len(b))
+			}
+		}
+	}
+}
+
+func TestDecodeTrailingBytes(t *testing.T) {
+	for _, p := range samplePackets() {
+		b, _ := p.MarshalBinary()
+		if _, err := Decode(append(b, 0x00)); err == nil {
+			t.Errorf("%v: Decode accepted trailing garbage", p.Kind())
+		}
+	}
+}
+
+func TestDecodeRandomGarbage(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		b := make([]byte, r.Intn(64))
+		r.Read(b)
+		// Must never panic; errors are fine, and a successful decode must
+		// re-encode to the same bytes.
+		p, err := Decode(b)
+		if err != nil {
+			continue
+		}
+		again, err := p.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal of decoded garbage failed: %v", err)
+		}
+		if !reflect.DeepEqual(again, b) {
+			t.Fatalf("decode/encode of garbage not canonical:\n in  %x\n out %x", b, again)
+		}
+	}
+}
+
+func TestOverlongFieldsRejected(t *testing.T) {
+	big := make([]byte, maxVarLen+1)
+	if _, err := (&Data{Payload: big}).MarshalBinary(); !errors.Is(err, ErrTooLong) {
+		t.Errorf("oversize Data payload error = %v, want ErrTooLong", err)
+	}
+	if _, err := (&Secure{Inner: big}).MarshalBinary(); !errors.Is(err, ErrTooLong) {
+		t.Errorf("oversize Secure inner error = %v, want ErrTooLong", err)
+	}
+	rerr := &RERR{Unreachable: make([]UnreachableDest, maxVarLen+1)}
+	if _, err := rerr.MarshalBinary(); !errors.Is(err, ErrTooLong) {
+		t.Errorf("oversize RERR error = %v, want ErrTooLong", err)
+	}
+	bl := &BlacklistNotice{Revoked: make([]RevokedCert, maxVarLen+1)}
+	if _, err := bl.MarshalBinary(); !errors.Is(err, ErrTooLong) {
+		t.Errorf("oversize BlacklistNotice error = %v, want ErrTooLong", err)
+	}
+}
+
+func TestRREQRoundTripProperty(t *testing.T) {
+	prop := func(floodID uint32, origin, dest uint64, oseq, dseq uint32, hop, ttl uint8, want bool) bool {
+		p := &RREQ{
+			FloodID: floodID, Origin: NodeID(origin), OriginSeq: SeqNum(oseq),
+			Dest: NodeID(dest), DestSeq: SeqNum(dseq), HopCount: hop, TTL: ttl, WantNext: want,
+		}
+		b, err := p.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		got, err := Decode(b)
+		return err == nil && reflect.DeepEqual(got, p)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRREPRoundTripProperty(t *testing.T) {
+	prop := func(origin, dest, issuer, next uint64, seq uint32, hop uint8, life int64, cl uint16) bool {
+		p := &RREP{
+			Origin: NodeID(origin), Dest: NodeID(dest), DestSeq: SeqNum(seq),
+			HopCount: hop, Lifetime: time.Duration(life), Issuer: NodeID(issuer),
+			IssuerCluster: ClusterID(cl), NextHop: NodeID(next),
+		}
+		b, err := p.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		got, err := Decode(b)
+		return err == nil && reflect.DeepEqual(got, p)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDataRoundTripProperty(t *testing.T) {
+	prop := func(origin, dest uint64, seq uint32, payload []byte) bool {
+		if len(payload) > maxVarLen {
+			payload = payload[:maxVarLen]
+		}
+		p := &Data{Origin: NodeID(origin), Dest: NodeID(dest), SeqNo: seq, Payload: payload}
+		b, err := p.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		got, err := Decode(b)
+		if err != nil {
+			return false
+		}
+		q := got.(*Data)
+		if len(payload) == 0 {
+			return len(q.Payload) == 0
+		}
+		return reflect.DeepEqual(q, p)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHelloRoundTripProperty(t *testing.T) {
+	prop := func(origin, dest, nonce uint64, reply bool, hops uint8) bool {
+		p := &Hello{Origin: NodeID(origin), Dest: NodeID(dest), Nonce: nonce, Reply: reply, Hops: hops}
+		b, err := p.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		got, err := Decode(b)
+		return err == nil && reflect.DeepEqual(got, p)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJoinReqRoundTripProperty(t *testing.T) {
+	prop := func(vehicle uint64, x, y, speed float64, east, overlapped bool) bool {
+		p := &JoinReq{Vehicle: NodeID(vehicle), PosX: x, PosY: y, SpeedMS: speed, Eastbound: east, Overlapped: overlapped}
+		b, err := p.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		got, err := Decode(b)
+		if err != nil {
+			return false
+		}
+		q := got.(*JoinReq)
+		// NaN != NaN; compare bit patterns via re-marshal instead.
+		again, err := q.MarshalBinary()
+		return err == nil && reflect.DeepEqual(again, b)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDetectReqRoundTripProperty(t *testing.T) {
+	prop := func(rep, sus uint64, rc, sc uint16, serial uint64, fake uint64, prior uint32, fwd uint8) bool {
+		p := &DetectReq{
+			Reporter: NodeID(rep), ReporterCluster: ClusterID(rc),
+			Suspect: NodeID(sus), SuspectCluster: ClusterID(sc),
+			SuspectSerial: serial, FakeDest: NodeID(fake), PriorSeq: SeqNum(prior), Forwards: fwd,
+		}
+		b, err := p.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		got, err := Decode(b)
+		return err == nil && reflect.DeepEqual(got, p)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCertificatePreimageExcludesSignature(t *testing.T) {
+	c := Certificate{Serial: 1, Node: 2, Authority: 3, PubKey: []byte{4, 5}, Expiry: time.Hour, Signature: []byte{6}}
+	a := c.Preimage()
+	c.Signature = []byte{7, 8, 9}
+	b := c.Preimage()
+	if !reflect.DeepEqual(a, b) {
+		t.Error("Preimage changed when only the signature changed")
+	}
+	c.Serial = 99
+	if reflect.DeepEqual(c.Preimage(), a) {
+		t.Error("Preimage did not change when the serial changed")
+	}
+}
+
+func TestSize(t *testing.T) {
+	for _, p := range samplePackets() {
+		b, _ := p.MarshalBinary()
+		if got := Size(p); got != len(b) {
+			t.Errorf("%v: Size = %d, want %d", p.Kind(), got, len(b))
+		}
+	}
+	// The d_req the paper describes is a small control packet.
+	if s := Size(&DetectReq{}); s > 48 {
+		t.Errorf("DetectReq size = %d bytes, expected a compact packet", s)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := KindRREQ; k < kindEnd; k++ {
+		if !k.Valid() {
+			t.Errorf("Kind %d not Valid()", k)
+		}
+		if s := k.String(); strings.HasPrefix(s, "Kind(") {
+			t.Errorf("Kind %d has no name", k)
+		}
+	}
+	if Kind(0).Valid() || Kind(200).Valid() {
+		t.Error("out-of-range kinds report Valid")
+	}
+	if !strings.HasPrefix(Kind(200).String(), "Kind(") {
+		t.Error("unknown Kind String not diagnostic")
+	}
+}
+
+func TestVerdictStrings(t *testing.T) {
+	verdicts := []Verdict{VerdictUnknown, VerdictMalicious, VerdictLegitimate, VerdictUnreachable, VerdictAlreadyKnown}
+	seen := map[string]bool{}
+	for _, v := range verdicts {
+		s := v.String()
+		if strings.HasPrefix(s, "Verdict(") || seen[s] {
+			t.Errorf("Verdict %d has bad or duplicate name %q", v, s)
+		}
+		seen[s] = true
+	}
+	if !strings.HasPrefix(Verdict(99).String(), "Verdict(") {
+		t.Error("unknown Verdict String not diagnostic")
+	}
+}
+
+func TestNodeIDString(t *testing.T) {
+	if Broadcast.String() != "*" {
+		t.Errorf("Broadcast.String() = %q, want *", Broadcast.String())
+	}
+	if NodeID(17).String() != "n17" {
+		t.Errorf("NodeID(17).String() = %q", NodeID(17).String())
+	}
+}
+
+func TestSecureRoundTripNested(t *testing.T) {
+	inner := &RREP{Origin: 1, Dest: 7, DestSeq: 200, HopCount: 4, Issuer: 66}
+	ib, err := inner.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec := &Secure{
+		Inner:     ib,
+		Cert:      Certificate{Serial: 5, Node: 66, PubKey: []byte{4, 9}, Expiry: time.Minute, Signature: []byte{1}},
+		Signature: []byte{2, 3},
+	}
+	b, err := sec.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSec := got.(*Secure)
+	nested, err := Decode(gotSec.Inner)
+	if err != nil {
+		t.Fatalf("decoding nested packet: %v", err)
+	}
+	if !reflect.DeepEqual(nested, inner) {
+		t.Errorf("nested packet mismatch: %+v", nested)
+	}
+}

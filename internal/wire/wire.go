@@ -1,0 +1,384 @@
+// Package wire defines every packet format exchanged in the simulated
+// connected-vehicle network: AODV routing packets (RREQ, RREP, RERR, Hello,
+// Data), cluster-membership packets (JoinReq, JoinRep, Leave), BlackDP
+// detection packets (DetectReq, DetectResp and the bait probes reuse RREQ/
+// RREP), and PKI packets (certificates, revocation requests/notices,
+// blacklist notices, pseudonym renewal).
+//
+// Each packet has a hand-written binary codec so the simulator can account
+// for on-air bytes; Decode dispatches on the leading Kind byte. The package
+// sits at the bottom of the dependency graph and imports only the standard
+// library.
+package wire
+
+import (
+	"fmt"
+	"time"
+)
+
+// NodeID is a temporary pseudonymous identity (IEEE 1609.2-style id) issued
+// by a Trusted Authority. Cluster heads and TAs hold NodeIDs too. The zero
+// value addresses no one; broadcasts use Broadcast.
+type NodeID uint64
+
+// Broadcast is the layer-3 destination meaning "all neighbours".
+const Broadcast NodeID = 0
+
+func (id NodeID) String() string {
+	if id == Broadcast {
+		return "*"
+	}
+	return fmt.Sprintf("n%d", uint64(id))
+}
+
+// SeqNum is an AODV destination sequence number. Higher means fresher.
+type SeqNum uint32
+
+// ClusterID is a 1-based static cluster index on the highway; 0 means
+// unknown/none.
+type ClusterID uint16
+
+// AuthorityID identifies a Trusted Authority node; 0 means unknown.
+type AuthorityID uint16
+
+// Kind discriminates packet types on the wire.
+type Kind uint8
+
+// Packet kinds. Values are wire-stable; do not reorder.
+const (
+	KindRREQ Kind = iota + 1
+	KindRREP
+	KindRERR
+	KindHello
+	KindData
+	KindJoinReq
+	KindJoinRep
+	KindLeave
+	KindDetectReq
+	KindDetectResp
+	KindRevocationReq
+	KindRevocationNotice
+	KindBlacklistNotice
+	KindRenewalReq
+	KindRenewalResp
+	KindSecure
+	kindEnd // sentinel; keep last
+)
+
+var kindNames = map[Kind]string{
+	KindRREQ:             "RREQ",
+	KindRREP:             "RREP",
+	KindRERR:             "RERR",
+	KindHello:            "HELLO",
+	KindData:             "DATA",
+	KindJoinReq:          "JREQ",
+	KindJoinRep:          "JREP",
+	KindLeave:            "LEAVE",
+	KindDetectReq:        "DREQ",
+	KindDetectResp:       "DRESP",
+	KindRevocationReq:    "REVOKE-REQ",
+	KindRevocationNotice: "REVOKE-NOTICE",
+	KindBlacklistNotice:  "BLACKLIST",
+	KindRenewalReq:       "RENEW-REQ",
+	KindRenewalResp:      "RENEW-RESP",
+	KindSecure:           "SECURE",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Valid reports whether k is a defined packet kind.
+func (k Kind) Valid() bool { return k >= KindRREQ && k < kindEnd }
+
+// Packet is implemented by every wire message.
+type Packet interface {
+	// Kind returns the wire discriminator for the packet type.
+	Kind() Kind
+	// MarshalBinary encodes the packet, including its leading Kind byte.
+	MarshalBinary() ([]byte, error)
+}
+
+// RREQ is an AODV route request, flooded hop by hop. BlackDP cluster heads
+// also use RREQs as bait probes against suspects (with a fabricated Dest and
+// a disposable Origin).
+type RREQ struct {
+	FloodID   uint32 // per-origin flood identifier for duplicate suppression
+	Origin    NodeID
+	OriginSeq SeqNum
+	Dest      NodeID
+	DestSeq   SeqNum // minimum freshness demanded by the origin
+	HopCount  uint8
+	TTL       uint8
+	WantNext  bool // BlackDP probe: demand the replier name its next hop
+}
+
+// Kind implements Packet.
+func (*RREQ) Kind() Kind { return KindRREQ }
+
+// RREP is an AODV route reply, unicast back along the reverse route. Nodes
+// include their cluster-head association in packets they originate (paper
+// SIII-A), which is how a reporter knows which cluster to name in a d_req.
+type RREP struct {
+	Origin        NodeID // requester the reply travels to
+	Dest          NodeID // destination the route leads to
+	DestSeq       SeqNum
+	HopCount      uint8
+	Lifetime      time.Duration
+	Issuer        NodeID    // node that generated the reply (destination or intermediate)
+	IssuerCluster ClusterID // issuer's registered cluster; 0 if unregistered
+	NextHop       NodeID    // answer to RREQ.WantNext; 0 when not asked/unknown
+}
+
+// Kind implements Packet.
+func (*RREP) Kind() Kind { return KindRREP }
+
+// UnreachableDest is one broken-route entry in a RERR.
+type UnreachableDest struct {
+	Node NodeID
+	Seq  SeqNum
+}
+
+// RERR is an AODV route error, broadcast when a next hop is lost.
+type RERR struct {
+	Reporter    NodeID
+	Unreachable []UnreachableDest
+}
+
+// Kind implements Packet.
+func (*RERR) Kind() Kind { return KindRERR }
+
+// Hello serves two roles, as in the paper: with Dest == Broadcast it is the
+// periodic AODV neighbour beacon; with a concrete Dest it is BlackDP's
+// end-to-end route-verification probe, answered with Reply set.
+type Hello struct {
+	Origin NodeID
+	Dest   NodeID
+	Nonce  uint64 // correlates a probe with its reply
+	Reply  bool
+	Hops   uint8
+}
+
+// Kind implements Packet.
+func (*Hello) Kind() Kind { return KindHello }
+
+// Data is an application payload routed over established AODV routes. Black
+// hole attackers silently drop these.
+type Data struct {
+	Origin  NodeID
+	Dest    NodeID
+	SeqNo   uint32
+	Payload []byte
+}
+
+// Kind implements Packet.
+func (*Data) Kind() Kind { return KindData }
+
+// JoinReq asks a cluster head for membership. Vehicles in an overlapped zone
+// broadcast it to all reachable heads with Overlapped set (paper SIII-A).
+type JoinReq struct {
+	Vehicle    NodeID
+	PosX, PosY float64 // metres
+	SpeedMS    float64 // metres/second
+	Eastbound  bool
+	Overlapped bool
+}
+
+// Kind implements Packet.
+func (*JoinReq) Kind() Kind { return KindJoinReq }
+
+// JoinRep accepts a vehicle into a cluster and names the head so members can
+// tag subsequent packets with their cluster.
+type JoinRep struct {
+	Head    NodeID
+	Cluster ClusterID
+	Vehicle NodeID
+}
+
+// Kind implements Packet.
+func (*JoinRep) Kind() Kind { return KindJoinRep }
+
+// Leave tells a cluster head the vehicle is departing; the head moves the
+// entry to its history table.
+type Leave struct {
+	Vehicle NodeID
+	Cluster ClusterID
+}
+
+// Kind implements Packet.
+func (*Leave) Kind() Kind { return KindLeave }
+
+// DetectReq is the paper's d_req = <v_i, v_i^cy, v_B, v_B^cy>: a legitimate
+// node reports a suspicious route issuer to its cluster head for
+// examination. When one cluster head hands an in-progress examination to
+// another (the suspect moved, or lives elsewhere), the forwarded d_req
+// additionally carries the probe state so the next head resumes rather than
+// restarts: the disposable fake destination and the sequence number the
+// suspect already claimed for it.
+type DetectReq struct {
+	Reporter        NodeID
+	ReporterCluster ClusterID
+	Suspect         NodeID
+	SuspectCluster  ClusterID
+	SuspectSerial   uint64 // certificate serial from the suspicious signed RREP; 0 unknown
+	FakeDest        NodeID // probe destination already in use; 0 when not yet probed
+	PriorSeq        SeqNum // sequence number from the suspect's first probe reply; 0 none
+	Forwards        uint8  // times this d_req has been handed between heads (loop bound)
+}
+
+// Kind implements Packet.
+func (*DetectReq) Kind() Kind { return KindDetectReq }
+
+// Verdict is the outcome a cluster head reports for an examined suspect.
+type Verdict uint8
+
+// Verdict values.
+const (
+	VerdictUnknown      Verdict = iota // examination could not complete
+	VerdictMalicious                   // protocol violation confirmed; node isolated
+	VerdictLegitimate                  // suspect behaved correctly under probing
+	VerdictUnreachable                 // suspect left before examination finished
+	VerdictAlreadyKnown                // suspect was already blacklisted
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictUnknown:
+		return "unknown"
+	case VerdictMalicious:
+		return "malicious"
+	case VerdictLegitimate:
+		return "legitimate"
+	case VerdictUnreachable:
+		return "unreachable"
+	case VerdictAlreadyKnown:
+		return "already-known"
+	default:
+		return fmt.Sprintf("Verdict(%d)", uint8(v))
+	}
+}
+
+// DetectResp reports the examination outcome back to the reporter through
+// its cluster head.
+type DetectResp struct {
+	Reporter NodeID
+	Suspect  NodeID
+	Verdict  Verdict
+	Teammate NodeID // cooperative accomplice, when one was exposed; else 0
+}
+
+// Kind implements Packet.
+func (*DetectResp) Kind() Kind { return KindDetectResp }
+
+// Certificate is an IEEE 1609.2-style pseudonymous certificate: a TA-signed
+// binding of a temporary NodeID to an ECDSA public key.
+type Certificate struct {
+	Serial    uint64
+	Node      NodeID
+	Authority AuthorityID
+	PubKey    []byte        // SEC1-encoded ECDSA P-256 point
+	Expiry    time.Duration // virtual time at which the certificate lapses
+	Signature []byte        // TA's ECDSA signature over the preimage
+}
+
+// RevocationReq is sent by a cluster head to its Trusted Authority after a
+// confirmed attack, asking for the suspect's certificate to be revoked.
+type RevocationReq struct {
+	Head       NodeID
+	Suspect    NodeID
+	CertSerial uint64
+	Cluster    ClusterID
+}
+
+// Kind implements Packet.
+func (*RevocationReq) Kind() Kind { return KindRevocationReq }
+
+// RevokedCert is the blacklist record distributed for one revoked
+// certificate: latest pseudonym, serial, and natural expiry (after which the
+// record can be dropped).
+type RevokedCert struct {
+	Node       NodeID
+	CertSerial uint64
+	Expiry     time.Duration
+}
+
+// RevocationNotice is fanned out by the TA to surrounding cluster heads (and
+// to peer TAs, pausing renewals for the attacker).
+type RevocationNotice struct {
+	Authority AuthorityID
+	Revoked   RevokedCert
+}
+
+// Kind implements Packet.
+func (*RevocationNotice) Kind() Kind { return KindRevocationNotice }
+
+// BlacklistNotice is a cluster head telling its members (including newly
+// joined vehicles) which certificates are revoked but not yet expired.
+type BlacklistNotice struct {
+	Head    NodeID
+	Cluster ClusterID
+	Revoked []RevokedCert
+}
+
+// Kind implements Packet.
+func (*BlacklistNotice) Kind() Kind { return KindBlacklistNotice }
+
+// RenewalReq asks the TA (via the local cluster head) for a fresh pseudonym
+// certificate, presenting the current one. The vehicle generates its next
+// key pair locally and submits only the public half (CSR-style), so private
+// keys never travel.
+type RenewalReq struct {
+	Current    NodeID
+	CertSerial uint64
+	NewPubKey  []byte // PKIX DER public key for the next certificate
+}
+
+// Kind implements Packet.
+func (*RenewalReq) Kind() Kind { return KindRenewalReq }
+
+// RenewalResp carries the freshly issued certificate back to the vehicle.
+// Denied is set when the TA has paused renewals for a revoked identity.
+type RenewalResp struct {
+	Requester NodeID
+	Denied    bool
+	Cert      Certificate
+}
+
+// Kind implements Packet.
+func (*RenewalResp) Kind() Kind { return KindRenewalResp }
+
+// Secure is the paper's "secure packet": an inner packet plus the sender's
+// certificate and an ECDSA signature over the inner bytes (SHA-256 digest).
+// Receivers verify the certificate against the TA key, then the signature
+// against the certificate's public key, before decoding Inner.
+type Secure struct {
+	Inner     []byte // a marshalled Packet
+	Cert      Certificate
+	Signature []byte
+}
+
+// Kind implements Packet.
+func (*Secure) Kind() Kind { return KindSecure }
+
+// Compile-time interface checks.
+var (
+	_ Packet = (*RREQ)(nil)
+	_ Packet = (*RREP)(nil)
+	_ Packet = (*RERR)(nil)
+	_ Packet = (*Hello)(nil)
+	_ Packet = (*Data)(nil)
+	_ Packet = (*JoinReq)(nil)
+	_ Packet = (*JoinRep)(nil)
+	_ Packet = (*Leave)(nil)
+	_ Packet = (*DetectReq)(nil)
+	_ Packet = (*DetectResp)(nil)
+	_ Packet = (*RevocationReq)(nil)
+	_ Packet = (*RevocationNotice)(nil)
+	_ Packet = (*BlacklistNotice)(nil)
+	_ Packet = (*RenewalReq)(nil)
+	_ Packet = (*RenewalResp)(nil)
+	_ Packet = (*Secure)(nil)
+)
