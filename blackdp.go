@@ -26,6 +26,7 @@
 package blackdp
 
 import (
+	"context"
 	"time"
 
 	"blackdp/internal/metrics"
@@ -90,10 +91,21 @@ func DefaultConfig() Config { return scenario.DefaultConfig() }
 // Run executes one simulation and returns its outcome.
 func Run(cfg Config) (Outcome, error) { return scenario.Run(cfg) }
 
-// RunMany executes reps runs with derived seeds; mutate, when non-nil,
-// adjusts each rep's config.
+// RunMany executes reps runs with derived seeds across one worker per CPU;
+// mutate, when non-nil, adjusts each rep's config. Results are identical to
+// a serial sweep (replication seeds and result order depend only on the
+// replication index).
 func RunMany(cfg Config, reps int, mutate func(rep int, c *Config)) ([]Outcome, error) {
 	return scenario.RunMany(cfg, reps, mutate)
+}
+
+// SweepOptions tune a replication sweep: worker-pool size (0 = one per
+// CPU, 1 = the serial path) and an optional progress callback.
+type SweepOptions = scenario.SweepOptions
+
+// RunSweep is RunMany with cancellation and explicit sweep options.
+func RunSweep(ctx context.Context, cfg Config, reps int, opt SweepOptions, mutate func(rep int, c *Config)) ([]Outcome, error) {
+	return scenario.RunSweep(ctx, cfg, reps, opt, mutate)
 }
 
 // Build constructs a world without running it, for agent-level inspection.
@@ -119,9 +131,21 @@ func Fig4(base Config, kind AttackKind, reps int) ([]Fig4Point, error) {
 	return scenario.RunFig4(base, kind, reps)
 }
 
+// Fig4Sweep is Fig4 with cancellation and sweep options; the full
+// clusters x reps grid runs as one flat parallel sweep.
+func Fig4Sweep(ctx context.Context, base Config, kind AttackKind, reps int, opt SweepOptions) ([]Fig4Point, error) {
+	return scenario.RunFig4Sweep(ctx, base, kind, reps, opt)
+}
+
 // Fig5 measures the detection-packet count of every Figure 5 scenario
 // class.
 func Fig5(seed int64) ([]Fig5Result, error) { return scenario.Fig5Series(seed) }
+
+// Fig5Sweep is Fig5 with cancellation and sweep options (one category per
+// worker).
+func Fig5Sweep(ctx context.Context, seed int64, opt SweepOptions) ([]Fig5Result, error) {
+	return scenario.Fig5SeriesSweep(ctx, seed, opt)
+}
 
 // Fig5Categories lists the Figure 5 classes in presentation order.
 func Fig5Categories() []Fig5Category { return scenario.Fig5Categories() }
@@ -135,6 +159,13 @@ func RunFig5(cat Fig5Category, seed int64) (Fig5Result, error) {
 // BlackDP over reps identical scenarios.
 func CompareDetectors(cfg Config, reps int) ([]DetectorScore, error) {
 	return scenario.CompareDetectors(cfg, reps)
+}
+
+// CompareDetectorsSweep is CompareDetectors with cancellation and sweep
+// options: worlds fan out across the pool, detector scoring folds in
+// replication order.
+func CompareDetectorsSweep(ctx context.Context, cfg Config, reps int, opt SweepOptions) ([]DetectorScore, error) {
+	return scenario.CompareDetectorsSweep(ctx, cfg, reps, opt)
 }
 
 // RunConnector reproduces the paper's connector argument: the attacker

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden CSV artefacts")
+
+// TestFig4GoldenArtifacts regenerates the Figure 4 CSV artefacts — the
+// paper's headline detection-accuracy tables — at a fixed seed and small
+// rep count and compares them byte-for-byte against checked-in goldens.
+// A refactor that shifts any cell (accuracy, FP/FN rates, packet counts)
+// fails here instead of silently changing the published numbers; after an
+// intentional simulator change, regenerate with:
+//
+//	go test ./cmd/blackdp-experiments -run Golden -update
+//
+// The full-scale artefacts under artifacts/ (150 reps) are produced by the
+// same code path, so shape drift in them is caught by this miniature.
+func TestFig4GoldenArtifacts(t *testing.T) {
+	p := params{ctx: context.Background(), seed: 1, reps: 3, workers: 8}
+	tables, err := fig4(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("fig4 produced %d tables, want single + cooperative", len(tables))
+	}
+	for _, tb := range tables {
+		var buf bytes.Buffer
+		if err := tb.WriteCSV(&buf); err != nil {
+			t.Fatalf("%s: WriteCSV: %v", tb.Slug, err)
+		}
+		golden := filepath.Join("testdata", tb.Slug+".golden.csv")
+		if *update {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("wrote %s", golden)
+			continue
+		}
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("missing golden %s (regenerate with -update): %v", golden, err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Errorf("%s drifted from its golden artefact.\n got:\n%s\n want:\n%s\nIf the change is intentional, rerun with -update.",
+				tb.Slug, buf.Bytes(), want)
+		}
+	}
+}

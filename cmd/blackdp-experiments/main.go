@@ -13,6 +13,12 @@
 //	blackdp-experiments fog                    # SIII-C: RSU auth bottleneck + fog offload
 //	blackdp-experiments all                    # everything, small rep counts
 //
+// Replications are embarrassingly parallel: -workers N fans them out over a
+// worker pool (default: one per CPU). Any worker count produces identical
+// tables — replication seeds and result order depend only on the
+// replication index, never on scheduling — and -workers 1 reproduces the
+// historical serial path exactly.
+//
 // Pass -csv DIR to additionally write each table as a CSV artefact for
 // plotting. Absolute numbers depend on this simulator, not the authors'
 // testbed; the shapes (who wins, where accuracy drops, packet-count ranges)
@@ -20,16 +26,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"time"
+	"runtime"
 
-	"blackdp"
 	"blackdp/internal/report"
 )
-
-var csvDir string
 
 func main() {
 	if len(os.Args) < 2 {
@@ -40,51 +44,26 @@ func main() {
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	reps := fs.Int("reps", defaultReps(cmd), "repetitions per data point")
 	seed := fs.Int64("seed", 1, "base random seed")
-	fs.StringVar(&csvDir, "csv", "", "directory to write CSV artefacts into")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "replication pool size (1 = serial)")
+	csvDir := fs.String("csv", "", "directory to write CSV artefacts into")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
 
+	p := params{ctx: context.Background(), seed: *seed, reps: *reps, workers: *workers}
 	var err error
-	switch cmd {
-	case "table1":
-		err = table1()
-	case "fig4":
-		err = fig4(*seed, *reps)
-	case "fig5":
-		err = fig5(*seed, *reps)
-	case "compare":
-		err = compare(*seed, *reps)
-	case "connector":
-		err = connector(*seed, *reps)
-	case "crypto":
-		err = crypto(*seed, *reps)
-	case "loss":
-		err = loss(*seed, *reps)
-	case "density":
-		err = density(*seed, *reps)
-	case "overhead":
-		err = overhead(*seed, *reps)
-	case "fog":
-		err = fog(*seed)
-	case "all":
-		for _, step := range []func() error{
-			table1,
-			func() error { return fig4(*seed, *reps) },
-			func() error { return fig5(*seed, *reps) },
-			func() error { return compare(*seed, *reps) },
-			func() error { return connector(*seed, *reps) },
-			func() error { return crypto(*seed, *reps) },
-			func() error { return loss(*seed, *reps) },
-			func() error { return density(*seed, *reps) },
-			func() error { return overhead(*seed, *reps) },
-			func() error { return fog(*seed) },
-		} {
-			if err = step(); err != nil {
+	switch {
+	case cmd == "all":
+		for i, e := range experiments {
+			if i > 0 {
+				fmt.Println()
+			}
+			if err = emit(e.run, p, *csvDir); err != nil {
 				break
 			}
-			fmt.Println()
 		}
+	case lookup(cmd) != nil:
+		err = emit(lookup(cmd), p, *csvDir)
 	default:
 		usage()
 		os.Exit(2)
@@ -95,8 +74,23 @@ func main() {
 	}
 }
 
+// emit runs one experiment and renders its tables (plus CSV artefacts when
+// csvDir is set).
+func emit(run func(params) ([]*report.Table, error), p params, csvDir string) error {
+	tables, err := run(p)
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
+		if err := t.Emit(csvDir); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: blackdp-experiments <table1|fig4|fig5|compare|connector|crypto|loss|density|overhead|fog|all> [-reps N] [-seed S] [-csv DIR]")
+	fmt.Fprintln(os.Stderr, "usage: blackdp-experiments <table1|fig4|fig5|compare|connector|crypto|loss|density|overhead|fog|all> [-reps N] [-seed S] [-workers W] [-csv DIR]")
 }
 
 func defaultReps(cmd string) int {
@@ -104,259 +98,4 @@ func defaultReps(cmd string) int {
 		return 150 // the paper's repetition count
 	}
 	return 10
-}
-
-func table1() error {
-	t := report.New("TABLE I: Simulation parameters", "parameter", "value")
-	for _, p := range blackdp.TableI() {
-		if err := t.AddRow(p.Name, p.Value); err != nil {
-			return err
-		}
-	}
-	return t.Emit(csvDir)
-}
-
-func fig4(seed int64, reps int) error {
-	fmt.Printf("FIGURE 4: Single and cooperative black hole attacks (%d runs per point)\n", reps)
-	base := blackdp.DefaultConfig()
-	base.Seed = seed
-	for _, kind := range []blackdp.AttackKind{blackdp.SingleBlackHole, blackdp.CooperativeBlackHole} {
-		start := time.Now()
-		points, err := blackdp.Fig4(base, kind, reps)
-		if err != nil {
-			return err
-		}
-		t := report.New(fmt.Sprintf("FIGURE 4: %s black hole (%d reps, %.1fs)", kind, reps, time.Since(start).Seconds()),
-			"cluster", "accuracy", "true_pos", "false_neg", "false_pos", "prevented", "pkts_min", "pkts_mean", "pkts_max")
-		t.Slug = fmt.Sprintf("figure-4-%s", kind)
-		for _, p := range points {
-			min, mean, max := p.Summary.PacketStats()
-			if err := t.AddRowf(p.Cluster,
-				fmt.Sprintf("%.1f%%", 100*p.Summary.Accuracy()),
-				fmt.Sprintf("%.1f%%", 100*p.Summary.TPRate()),
-				fmt.Sprintf("%.1f%%", 100*p.Summary.FNRate()),
-				fmt.Sprintf("%.1f%%", 100*p.Summary.FPRate()),
-				p.Summary.PreventedOnly, min, fmt.Sprintf("%.1f", mean), max); err != nil {
-				return err
-			}
-		}
-		if err := t.Emit(csvDir); err != nil {
-			return err
-		}
-	}
-	fmt.Println("paper shape: 100% accuracy and 0% FP/FN in clusters 1-7; accuracy drops and")
-	fmt.Println("FN rises in clusters 8-10 (evasion: acting legitimately, fleeing, renewal); FP stays 0.")
-	return nil
-}
-
-func fig5(seed int64, reps int) error {
-	t := report.New(fmt.Sprintf("FIGURE 5: Number of detection packets (%d seeds per class)", reps),
-		"scenario", "paper", "measured_min", "measured_max")
-	for _, cat := range blackdp.Fig5Categories() {
-		min, max := 1<<31, 0
-		for rep := 0; rep < reps; rep++ {
-			res, err := blackdp.RunFig5(cat, seed+int64(rep)*7919)
-			if err != nil {
-				return fmt.Errorf("%v: %w", cat, err)
-			}
-			if res.Packets < min {
-				min = res.Packets
-			}
-			if res.Packets > max {
-				max = res.Packets
-			}
-		}
-		if err := t.AddRowf(cat, cat.PaperPackets(), min, max); err != nil {
-			return err
-		}
-	}
-	return t.Emit(csvDir)
-}
-
-func compare(seed int64, reps int) error {
-	cfg := blackdp.DefaultConfig()
-	cfg.Seed = seed
-	scores, err := blackdp.CompareDetectors(cfg, reps)
-	if err != nil {
-		return err
-	}
-	t := report.New(fmt.Sprintf("ABLATION: SN baselines vs BlackDP (%d runs, Table I world)", reps),
-		"detector", "hits", "runs", "misses", "false_pos", "undecided")
-	for _, s := range scores {
-		if err := t.AddRowf(s.Name, s.Hits, s.Runs, s.Misses, s.FalsePos, s.NoDecision); err != nil {
-			return err
-		}
-	}
-	return t.Emit(csvDir)
-}
-
-func connector(seed int64, reps int) error {
-	t := report.New(fmt.Sprintf("ABLATION: connector topology (%d seeds per inflation)", reps),
-		"seq_inflation", "replies", "first_reply", "peak", "threshold", "blackdp")
-	for _, bonus := range []blackdp.SeqNum{30, 120, 500} {
-		hits := map[string]int{}
-		replies, detected := 0, 0
-		for rep := 0; rep < reps; rep++ {
-			res, err := blackdp.RunConnector(seed+int64(rep)*7919, bonus)
-			if err != nil {
-				return err
-			}
-			replies += res.Replies
-			for name, hit := range res.BaselineFlagged {
-				if hit {
-					hits[name]++
-				}
-			}
-			if res.BlackDPDetected {
-				detected++
-			}
-		}
-		if err := t.AddRowf(fmt.Sprintf("+%d", bonus),
-			fmt.Sprintf("%.1f", float64(replies)/float64(reps)),
-			frac(hits["first-reply-comparison"], reps),
-			frac(hits["dynamic-peak"], reps),
-			frac(hits["static-threshold"], reps),
-			frac(detected, reps)); err != nil {
-			return err
-		}
-	}
-	t.Note("paper claim: with a single (forged) reply none of the SN methods can detect;")
-	t.Note("BlackDP examines behaviour directly and convicts regardless of inflation size.")
-	return t.Emit(csvDir)
-}
-
-func frac(n, d int) string { return fmt.Sprintf("%d/%d", n, d) }
-
-func loss(seed int64, reps int) error {
-	t := report.New(fmt.Sprintf("ABLATION: detection under channel loss (%d runs per point)", reps),
-		"loss_rate", "detected", "blocked_anyway", "false_pos", "delivery")
-	for _, rate := range []float64{0, 0.01, 0.02, 0.05, 0.10} {
-		cfg := blackdp.DefaultConfig()
-		cfg.Seed = seed
-		cfg.AttackerCluster = 4
-		cfg.LossRate = rate
-		outcomes, err := blackdp.RunMany(cfg, reps, nil)
-		if err != nil {
-			return err
-		}
-		s := blackdp.Aggregate(outcomes)
-		if err := t.AddRowf(fmt.Sprintf("%.0f%%", 100*rate), frac(s.TP, s.Runs),
-			s.PreventedOnly, s.FP, fmt.Sprintf("%.0f%%", 100*s.DeliveryRatio())); err != nil {
-			return err
-		}
-	}
-	return t.Emit(csvDir)
-}
-
-func density(seed int64, reps int) error {
-	t := report.New(fmt.Sprintf("ABLATION: vehicle density — RSU load (%d runs per point)", reps),
-		"vehicles", "detected", "mean_latency", "p95_latency", "mean_packets", "wall_per_run")
-	for _, n := range []int{50, 100, 200} {
-		cfg := blackdp.DefaultConfig()
-		cfg.Seed = seed
-		cfg.AttackerCluster = 4
-		cfg.Vehicles = n
-		start := time.Now()
-		outcomes, err := blackdp.RunMany(cfg, reps, nil)
-		if err != nil {
-			return err
-		}
-		wall := time.Since(start) / time.Duration(reps)
-		s := blackdp.Aggregate(outcomes)
-		_, mean, _ := s.PacketStats()
-		if err := t.AddRowf(n, frac(s.TP, s.Runs),
-			s.MeanLatency().Round(time.Microsecond),
-			s.LatencyPercentile(95).Round(time.Microsecond),
-			fmt.Sprintf("%.1f", mean), wall.Round(time.Millisecond)); err != nil {
-			return err
-		}
-	}
-	return t.Emit(csvDir)
-}
-
-func overhead(seed int64, reps int) error {
-	t := report.New(fmt.Sprintf("ABLATION: the 'lightweight' claim — air traffic (%d runs)", reps),
-		"mode", "frames_per_run", "bytes_per_run", "delivery", "detected")
-	type row struct {
-		name   string
-		verify bool
-		attack blackdp.AttackKind
-	}
-	for _, r := range []row{
-		{"plain AODV, no attack", false, blackdp.NoAttack},
-		{"BlackDP, no attack", true, blackdp.NoAttack},
-		{"plain AODV, black hole", false, blackdp.SingleBlackHole},
-		{"BlackDP, black hole", true, blackdp.SingleBlackHole},
-	} {
-		cfg := blackdp.DefaultConfig()
-		cfg.Seed = seed
-		cfg.AttackerCluster = 4
-		cfg.Attack = r.attack
-		cfg.Vehicle.Verify = r.verify
-		outcomes, err := blackdp.RunMany(cfg, reps, nil)
-		if err != nil {
-			return err
-		}
-		var frames, bytes uint64
-		for _, o := range outcomes {
-			frames += o.AirFrames
-			bytes += o.AirBytes
-		}
-		s := blackdp.Aggregate(outcomes)
-		if err := t.AddRowf(r.name, frames/uint64(reps), bytes/uint64(reps),
-			fmt.Sprintf("%.0f%%", 100*s.DeliveryRatio()), frac(s.TP, s.Runs)); err != nil {
-			return err
-		}
-	}
-	t.Note("detection cost is the byte/frame delta between the BlackDP and plain rows;")
-	t.Note("signed packets dominate it (a sealed RREP carries a certificate + two signatures).")
-	return t.Emit(csvDir)
-}
-
-func fog(seed int64) error {
-	t := report.New("ABLATION: RSU authentication bottleneck and fog offload (SIII-C, 20ms/packet)",
-		"reporters", "fog_nodes", "mean_verdict_latency", "worst_auth_delay")
-	for _, reporters := range []int{10, 30, 60} {
-		for _, fogNodes := range []int{0, 4} {
-			res, err := blackdp.RunFogAblation(seed, reporters, 20*time.Millisecond, fogNodes)
-			if err != nil {
-				return err
-			}
-			if err := t.AddRowf(reporters, fogNodes,
-				res.MeanVerdict.Round(time.Millisecond),
-				res.MaxAuthLatency.Round(time.Millisecond)); err != nil {
-				return err
-			}
-		}
-	}
-	t.Note("the paper's mitigation holds: fog verifiers flatten the queueing delay that")
-	t.Note("would otherwise grow linearly with cluster density.")
-	return t.Emit(csvDir)
-}
-
-func crypto(seed int64, reps int) error {
-	t := report.New(fmt.Sprintf("ABLATION: ECDSA P-256 vs free placeholder signatures (%d runs each)", reps),
-		"scheme", "detected", "mean_detection_latency", "wall_per_run")
-	for _, real := range []bool{true, false} {
-		cfg := blackdp.DefaultConfig()
-		cfg.Seed = seed
-		cfg.AttackerCluster = 4
-		cfg.RealCrypto = real
-		start := time.Now()
-		outcomes, err := blackdp.RunMany(cfg, reps, nil)
-		if err != nil {
-			return err
-		}
-		wall := time.Since(start) / time.Duration(reps)
-		s := blackdp.Aggregate(outcomes)
-		name := "insecure-digest"
-		if real {
-			name = "ecdsa-p256"
-		}
-		if err := t.AddRowf(name, frac(s.TP, s.Runs),
-			s.MeanLatency().Round(time.Microsecond), wall.Round(time.Millisecond)); err != nil {
-			return err
-		}
-	}
-	return t.Emit(csvDir)
 }

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"blackdp/internal/report"
+)
+
+// maskedColumns are cells that legitimately differ between runs: host
+// wall-clock measurements, never simulated quantities.
+var maskedColumns = map[string]bool{"wall_per_run": true}
+
+// maskedNotePrefix marks footnotes carrying wall-clock timings.
+const maskedNotePrefix = "wall-clock"
+
+// flatten renders a table to comparable lines, masking wall-clock cells
+// and notes. Everything else — title, slug, headers, every data cell —
+// must match exactly between worker counts.
+func flatten(t *report.Table) []string {
+	lines := []string{"title: " + t.Title, "slug: " + t.Slug, "columns: " + strings.Join(t.Columns(), "|")}
+	cols := t.Columns()
+	for _, row := range t.Cells() {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			if maskedColumns[cols[i]] {
+				c = "<wall>"
+			}
+			cells[i] = c
+		}
+		lines = append(lines, "row: "+strings.Join(cells, "|"))
+	}
+	for _, n := range t.Notes() {
+		if strings.HasPrefix(n, maskedNotePrefix) {
+			n = "<wall>"
+		}
+		lines = append(lines, "note: "+n)
+	}
+	return lines
+}
+
+// TestAllSubcommandsWorkersDifferential is the acceptance gate for the
+// parallel replication engine: every subcommand of blackdp-experiments
+// must produce identical report tables with workers=1 (the historical
+// serial path) and workers=8. Only host wall-clock measurements are
+// excluded; simulated latencies, packet counts and rates all participate.
+func TestAllSubcommandsWorkersDifferential(t *testing.T) {
+	for _, e := range experiments {
+		e := e
+		t.Run(e.name, func(t *testing.T) {
+			serialP := params{ctx: context.Background(), seed: 1, reps: 2, workers: 1}
+			parallelP := serialP
+			parallelP.workers = 8
+
+			serial, err := e.run(serialP)
+			if err != nil {
+				t.Fatalf("workers=1: %v", err)
+			}
+			parallel, err := e.run(parallelP)
+			if err != nil {
+				t.Fatalf("workers=8: %v", err)
+			}
+			if len(serial) != len(parallel) {
+				t.Fatalf("table count differs: %d vs %d", len(serial), len(parallel))
+			}
+			for i := range serial {
+				s, p := flatten(serial[i]), flatten(parallel[i])
+				if len(s) != len(p) {
+					t.Fatalf("table %q: %d lines vs %d", serial[i].Slug, len(s), len(p))
+				}
+				for j := range s {
+					if s[j] != p[j] {
+						t.Errorf("table %q diverges between workers=1 and workers=8:\n serial   %s\n parallel %s",
+							serial[i].Slug, s[j], p[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestWorkersFlagDefaultsAndDispatch covers the CLI wiring: every
+// documented subcommand resolves, and unknown names do not.
+func TestWorkersFlagDefaultsAndDispatch(t *testing.T) {
+	for _, name := range []string{"table1", "fig4", "fig5", "compare", "connector", "crypto", "loss", "density", "overhead", "fog"} {
+		if lookup(name) == nil {
+			t.Errorf("subcommand %q not registered", name)
+		}
+	}
+	if lookup("nope") != nil {
+		t.Error("unknown subcommand resolved")
+	}
+	if defaultReps("fig4") != 150 || defaultReps("fig5") != 10 {
+		t.Error("default rep counts changed")
+	}
+}

@@ -1,0 +1,179 @@
+// Package exp is the replication sweep engine behind every Monte-Carlo
+// experiment in the repository. A sweep fans N independent simulator
+// replications out across a pool of workers and collects their results in
+// replication order, so the aggregate a caller sees is byte-identical
+// whether the sweep ran on one goroutine or sixteen.
+//
+// Determinism is the contract: each replication derives its own seed from
+// the sweep's base seed and its replication index alone (never from
+// scheduling order), every replication builds a private world (the
+// simulator keeps no package-level mutable state), and results land in a
+// pre-sized slice at their replication index regardless of completion
+// order. The differential test suites in this package, internal/scenario
+// and cmd/blackdp-experiments hold the engine to that contract under the
+// race detector.
+package exp
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// DefaultWorkers is the worker count used when Options.Workers is zero:
+// one worker per available CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Seed derives the base RNG seed for replication rep of a sweep labelled
+// label, using the same FNV-1a label hashing as sim.RNG.Split. The result
+// is a pure function of (base, label, rep): two sweeps with different
+// labels are decorrelated, and a given replication draws the identical
+// world no matter which worker runs it or in what order.
+func Seed(base int64, label string, rep int) int64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(label))
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(rep))
+	_, _ = h.Write(b[:])
+	return int64(h.Sum64()) ^ base
+}
+
+// PanicError reports a replication whose function panicked. The sweep
+// converts the panic into a per-replication failure — with the replication
+// index and seed attached for reproduction — instead of crashing the whole
+// sweep.
+type PanicError struct {
+	Rep   int    // replication index that panicked
+	Seed  int64  // the replication's seed, when Options.SeedOf was set
+	Value any    // the recovered panic value
+	Stack []byte // stack trace captured at recovery
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("exp: replication %d (seed %d) panicked: %v", e.Rep, e.Seed, e.Value)
+}
+
+// Options tune one sweep.
+type Options struct {
+	// Workers is the pool size. Zero (or negative) means DefaultWorkers().
+	// One runs every replication inline on the calling goroutine — the
+	// exact serial loop the engine replaced.
+	Workers int
+	// SeedOf, when non-nil, reports the seed of a replication so panics
+	// and errors can name it. It must be safe for concurrent use (a pure
+	// function of rep is ideal).
+	SeedOf func(rep int) int64
+	// Progress, when non-nil, is called after each replication completes
+	// with the number done so far and the total. Calls are serialised but,
+	// with more than one worker, not in replication order.
+	Progress func(done, total int)
+}
+
+// Map runs fn for every replication 0..reps-1 and returns the results in
+// replication order. With Workers == 1 it is a plain serial loop; otherwise
+// replications are distributed over the pool as workers free up.
+//
+// Error semantics are order-independent: if any replications fail, Map
+// returns the error of the lowest-indexed failing replication — exactly
+// what the serial loop would have returned first — regardless of worker
+// count. A panic inside fn fails only that replication (reported as a
+// *PanicError). Cancelling ctx stops the sweep early with ctx.Err().
+func Map[T any](ctx context.Context, reps int, opt Options, fn func(ctx context.Context, rep int) (T, error)) ([]T, error) {
+	if reps <= 0 {
+		return nil, nil
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > reps {
+		workers = reps
+	}
+
+	results := make([]T, reps)
+	if workers == 1 {
+		for rep := 0; rep < reps; rep++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			out, err := runRep(ctx, rep, opt, fn)
+			if err != nil {
+				return nil, err
+			}
+			results[rep] = out
+			if opt.Progress != nil {
+				opt.Progress(rep+1, reps)
+			}
+		}
+		return results, nil
+	}
+
+	var (
+		mu       sync.Mutex
+		next     int
+		done     int
+		firstRep = reps // lowest failing replication index seen
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				rep := next
+				next++
+				mu.Unlock()
+				if rep >= reps || ctx.Err() != nil {
+					return
+				}
+				out, err := runRep(ctx, rep, opt, fn)
+				mu.Lock()
+				if err != nil {
+					// Keep the lowest-indexed failure so the reported
+					// error matches the serial loop's. Later replications
+					// still run: aborting on the first *observed* failure
+					// would make the winner scheduling-dependent.
+					if rep < firstRep {
+						firstRep, firstErr = rep, err
+					}
+				} else {
+					results[rep] = out
+				}
+				done++
+				if opt.Progress != nil {
+					opt.Progress(done, reps) // under mu: calls are serialised
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// runRep invokes fn for one replication, converting a panic into a
+// *PanicError carrying the replication's index and seed.
+func runRep[T any](ctx context.Context, rep int, opt Options, fn func(ctx context.Context, rep int) (T, error)) (out T, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			pe := &PanicError{Rep: rep, Value: v, Stack: debug.Stack()}
+			if opt.SeedOf != nil {
+				pe.Seed = opt.SeedOf(rep)
+			}
+			err = pe
+		}
+	}()
+	return fn(ctx, rep)
+}

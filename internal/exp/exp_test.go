@@ -1,0 +1,217 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMapReturnsResultsInReplicationOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			got, err := Map(context.Background(), 32, Options{Workers: workers},
+				func(_ context.Context, rep int) (int, error) { return rep * rep, nil })
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != 32 {
+				t.Fatalf("got %d results, want 32", len(got))
+			}
+			for rep, v := range got {
+				if v != rep*rep {
+					t.Errorf("result[%d] = %d, want %d", rep, v, rep*rep)
+				}
+			}
+		})
+	}
+}
+
+func TestMapSerialAndParallelIdentical(t *testing.T) {
+	fn := func(_ context.Context, rep int) (int64, error) {
+		// A deterministic function of the replication index alone, like a
+		// seeded world: scheduling must not leak into the result.
+		return Seed(42, "diff", rep), nil
+	}
+	serial, err := Map(context.Background(), 64, Options{Workers: 1}, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Map(context.Background(), 64, Options{Workers: 8}, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("serial and parallel sweeps diverged:\n serial   %v\n parallel %v", serial, parallel)
+	}
+}
+
+func TestMapZeroReps(t *testing.T) {
+	got, err := Map(context.Background(), 0, Options{},
+		func(context.Context, int) (int, error) { return 0, nil })
+	if err != nil || got != nil {
+		t.Errorf("Map(0 reps) = %v, %v; want nil, nil", got, err)
+	}
+}
+
+func TestMapWorkersOneRunsInline(t *testing.T) {
+	// The serial path must execute on the calling goroutine in replication
+	// order — it is the reference implementation the parallel path is
+	// measured against.
+	var order []int
+	_, err := Map(context.Background(), 5, Options{Workers: 1},
+		func(_ context.Context, rep int) (int, error) {
+			order = append(order, rep) // no locking: single goroutine
+			return rep, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(order, []int{0, 1, 2, 3, 4}) {
+		t.Errorf("serial execution order %v", order)
+	}
+}
+
+func TestMapReportsLowestFailingReplication(t *testing.T) {
+	failAt := map[int]bool{3: true, 7: true, 11: true}
+	fn := func(_ context.Context, rep int) (int, error) {
+		if failAt[rep] {
+			return 0, fmt.Errorf("rep %d failed", rep)
+		}
+		return rep, nil
+	}
+	for _, workers := range []int{1, 8} {
+		got, err := Map(context.Background(), 16, Options{Workers: workers}, fn)
+		if got != nil {
+			t.Errorf("workers=%d: results returned alongside error", workers)
+		}
+		if err == nil || err.Error() != "rep 3 failed" {
+			t.Errorf("workers=%d: error = %v, want the lowest failing replication (rep 3)", workers, err)
+		}
+	}
+}
+
+func TestMapCapturesPanicWithRepAndSeed(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		_, err := Map(context.Background(), 8, Options{
+			Workers: workers,
+			SeedOf:  func(rep int) int64 { return 1000 + int64(rep) },
+		}, func(_ context.Context, rep int) (int, error) {
+			if rep == 2 {
+				panic("world exploded")
+			}
+			return rep, nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: error = %v, want *PanicError", workers, err)
+		}
+		if pe.Rep != 2 || pe.Seed != 1002 || pe.Value != "world exploded" {
+			t.Errorf("workers=%d: PanicError = rep %d seed %d value %v", workers, pe.Rep, pe.Seed, pe.Value)
+		}
+		if len(pe.Stack) == 0 {
+			t.Errorf("workers=%d: no stack captured", workers)
+		}
+	}
+}
+
+func TestMapPanicDoesNotKillOtherReplications(t *testing.T) {
+	// Every replication must still be attempted: the sweep fails with the
+	// panicking replication's error, not by tearing down the pool.
+	var mu sync.Mutex
+	ran := map[int]bool{}
+	_, err := Map(context.Background(), 10, Options{Workers: 4},
+		func(_ context.Context, rep int) (int, error) {
+			mu.Lock()
+			ran[rep] = true
+			mu.Unlock()
+			if rep == 0 {
+				panic("first replication down")
+			}
+			return rep, nil
+		})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Rep != 0 {
+		t.Fatalf("error = %v, want PanicError for rep 0", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(ran) != 10 {
+		t.Errorf("only %d/10 replications attempted after the panic", len(ran))
+	}
+}
+
+func TestMapCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var mu sync.Mutex
+	started := 0
+	_, err := Map(ctx, 1000, Options{Workers: 4},
+		func(ctx context.Context, rep int) (int, error) {
+			mu.Lock()
+			started++
+			if started == 8 {
+				cancel()
+			}
+			mu.Unlock()
+			return rep, nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if started == 1000 {
+		t.Error("cancellation did not stop the sweep early")
+	}
+}
+
+func TestMapProgress(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var mu sync.Mutex
+		var dones []int
+		_, err := Map(context.Background(), 20, Options{
+			Workers:  workers,
+			Progress: func(done, total int) { mu.Lock(); dones = append(dones, done); mu.Unlock() },
+		}, func(_ context.Context, rep int) (int, error) {
+			time.Sleep(time.Millisecond)
+			return rep, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dones) != 20 {
+			t.Fatalf("workers=%d: %d progress calls, want 20", workers, len(dones))
+		}
+		sort.Ints(dones)
+		for i, d := range dones {
+			if d != i+1 {
+				t.Fatalf("workers=%d: progress counts %v, want each of 1..20 exactly once", workers, dones)
+			}
+		}
+	}
+}
+
+func TestSeedIsOrderIndependentAndLabelled(t *testing.T) {
+	if Seed(1, "fig4", 42) != Seed(1, "fig4", 42) {
+		t.Error("Seed is not a pure function")
+	}
+	if Seed(1, "fig4", 42) == Seed(1, "fig5", 42) {
+		t.Error("different labels should decorrelate streams")
+	}
+	if Seed(1, "fig4", 42) == Seed(1, "fig4", 43) {
+		t.Error("different replications should draw different seeds")
+	}
+	if Seed(1, "fig4", 42) == Seed(2, "fig4", 42) {
+		t.Error("different base seeds should draw different seeds")
+	}
+}
+
+func TestDefaultWorkersPositive(t *testing.T) {
+	if DefaultWorkers() < 1 {
+		t.Fatalf("DefaultWorkers() = %d", DefaultWorkers())
+	}
+}

@@ -54,6 +54,18 @@ func (t *Table) Columns() []string { return append([]string(nil), t.columns...) 
 // Rows returns the number of data rows.
 func (t *Table) Rows() int { return len(t.rows) }
 
+// Cells returns a copy of the data rows, for table comparison in tests.
+func (t *Table) Cells() [][]string {
+	out := make([][]string, len(t.rows))
+	for i, row := range t.rows {
+		out[i] = append([]string(nil), row...)
+	}
+	return out
+}
+
+// Notes returns the attached footnotes.
+func (t *Table) Notes() []string { return append([]string(nil), t.notes...) }
+
 // AddRow appends a row; the cell count must match the header.
 func (t *Table) AddRow(cells ...string) error {
 	if len(cells) != len(t.columns) {

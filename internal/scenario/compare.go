@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -9,6 +10,8 @@ import (
 	"blackdp/internal/baseline"
 	"blackdp/internal/cluster"
 	"blackdp/internal/core"
+	"blackdp/internal/exp"
+	"blackdp/internal/metrics"
 	"blackdp/internal/mobility"
 	"blackdp/internal/pki"
 	"blackdp/internal/radio"
@@ -43,70 +46,102 @@ func (s DetectorScore) String() string {
 // sequence-number detectors on the source's raw discovery replies, alongside
 // BlackDP's behavioural detection on the same worlds.
 func CompareDetectors(cfg Config, reps int) ([]DetectorScore, error) {
-	cfg = cfg.withDefaults()
-	detectors := baseline.All()
-	scores := make([]DetectorScore, len(detectors)+1)
-	for i, d := range detectors {
-		scores[i].Name = d.Name()
-	}
-	scores[len(detectors)].Name = "blackdp"
+	return CompareDetectorsSweep(context.Background(), cfg, reps, SweepOptions{})
+}
 
-	for rep := 0; rep < reps; rep++ {
+// compareEvidence is one replication's raw material for detector scoring:
+// the discovery replies the source collected (for the sequence-number
+// heuristics) and BlackDP's outcome on an identical world.
+type compareEvidence struct {
+	candidates []aodv.Candidate
+	attackerID wire.NodeID
+	outcome    metrics.Outcome
+}
+
+// CompareDetectorsSweep is CompareDetectors with cancellation and sweep
+// options. The expensive part — building and running two worlds per
+// replication — fans out across the pool; the detector evaluation then
+// folds serially in replication order, because the dynamic-peak baseline
+// is deliberately stateful across discoveries and must see them in the
+// same order as the serial path.
+func CompareDetectorsSweep(ctx context.Context, cfg Config, reps int, opt SweepOptions) ([]DetectorScore, error) {
+	cfg = cfg.withDefaults()
+	seedOf := func(rep int) int64 { return cfg.Seed + int64(rep)*104729 }
+	evidence, err := exp.Map(ctx, reps, exp.Options{
+		Workers:  opt.Workers,
+		SeedOf:   seedOf,
+		Progress: opt.Progress,
+	}, func(_ context.Context, rep int) (compareEvidence, error) {
 		runCfg := cfg
-		runCfg.Seed = cfg.Seed + int64(rep)*104729
+		runCfg.Seed = seedOf(rep)
 
 		// Raw discovery view for the sequence-number heuristics.
 		w, err := Build(runCfg)
 		if err != nil {
-			return nil, err
+			return compareEvidence{}, err
 		}
-		attackerID := wire.NodeID(0)
+		ev := compareEvidence{}
 		if w.Attacker != nil {
-			attackerID = w.Attacker.NodeID()
+			ev.attackerID = w.Attacker.NodeID()
 		}
 		w.Sched.RunFor(1500 * time.Millisecond) // joins settle
 		var got *aodv.DiscoverResult
 		err = w.Source.Router().Discover(w.Destination.NodeID(),
 			func(res aodv.DiscoverResult) { got = &res })
 		if err != nil {
-			return nil, err
+			return compareEvidence{}, err
 		}
 		w.Sched.RunFor(5 * time.Second)
 		if got == nil {
-			return nil, fmt.Errorf("scenario: discovery never completed (seed %d)", runCfg.Seed)
+			return compareEvidence{}, fmt.Errorf("scenario: discovery never completed (seed %d)", runCfg.Seed)
 		}
+		ev.candidates = got.Candidates
+
+		// BlackDP's verdict on an identical world.
+		o, err := Run(runCfg)
+		if err != nil {
+			return compareEvidence{}, err
+		}
+		ev.outcome = o
+		return ev, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	detectors := baseline.All()
+	scores := make([]DetectorScore, len(detectors)+1)
+	for i, d := range detectors {
+		scores[i].Name = d.Name()
+	}
+	scores[len(detectors)].Name = "blackdp"
+	for _, ev := range evidence {
 		for i, d := range detectors {
 			scores[i].Runs++
-			if len(got.Candidates) < 2 {
+			if len(ev.candidates) < 2 {
 				if _, isFirst := d.(baseline.FirstReply); isFirst {
 					scores[i].NoDecision++
 					scores[i].Misses++
 					continue
 				}
 			}
-			ev := baseline.Evaluate(d, got.Candidates, attackerID)
-			if ev.Hit {
+			e := baseline.Evaluate(d, ev.candidates, ev.attackerID)
+			if e.Hit {
 				scores[i].Hits++
-			} else if attackerID != 0 {
+			} else if ev.attackerID != 0 {
 				scores[i].Misses++
 			}
-			scores[i].FalsePos += ev.FalsePos
-		}
-
-		// BlackDP's verdict on an identical world.
-		o, err := Run(runCfg)
-		if err != nil {
-			return nil, err
+			scores[i].FalsePos += e.FalsePos
 		}
 		idx := len(detectors)
 		scores[idx].Runs++
 		switch {
-		case o.Detected:
+		case ev.outcome.Detected:
 			scores[idx].Hits++
-		case o.AttackerPresent:
+		case ev.outcome.AttackerPresent:
 			scores[idx].Misses++
 		}
-		scores[idx].FalsePos += o.FalseAccusations
+		scores[idx].FalsePos += ev.outcome.FalseAccusations
 	}
 	return scores, nil
 }

@@ -1,12 +1,14 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"blackdp/internal/attack"
 	"blackdp/internal/cluster"
 	"blackdp/internal/core"
+	"blackdp/internal/exp"
 	"blackdp/internal/metrics"
 	"blackdp/internal/mobility"
 	"blackdp/internal/pki"
@@ -305,17 +307,23 @@ func (w *fig5World) run() (Fig5Result, error) {
 }
 
 // Fig5Series runs every category and returns the measured packet counts in
-// presentation order.
+// presentation order, one category per worker.
 func Fig5Series(seed int64) ([]Fig5Result, error) {
-	var out []Fig5Result
-	for _, cat := range Fig5Categories() {
-		res, err := RunFig5(cat, seed)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, res)
-	}
-	return out, nil
+	return Fig5SeriesSweep(context.Background(), seed, SweepOptions{})
+}
+
+// Fig5SeriesSweep is Fig5Series with cancellation and sweep options. Each
+// category builds its own miniature world from the same seed, so results
+// match the serial path for any worker count.
+func Fig5SeriesSweep(ctx context.Context, seed int64, opt SweepOptions) ([]Fig5Result, error) {
+	cats := Fig5Categories()
+	return exp.Map(ctx, len(cats), exp.Options{
+		Workers:  opt.Workers,
+		SeedOf:   func(int) int64 { return seed },
+		Progress: opt.Progress,
+	}, func(_ context.Context, i int) (Fig5Result, error) {
+		return RunFig5(cats[i], seed)
+	})
 }
 
 // Fig4Point is one bar of the paper's Figure 4: single or cooperative
@@ -330,6 +338,14 @@ type Fig4Point struct {
 // repetitions each, enabling the paper's evasive behaviours in clusters
 // 8-10 (generalised: the last three clusters).
 func RunFig4(base Config, kind AttackKind, reps int) ([]Fig4Point, error) {
+	return RunFig4Sweep(context.Background(), base, kind, reps, SweepOptions{})
+}
+
+// RunFig4Sweep is RunFig4 with cancellation and sweep options. The full
+// clusters x reps grid is one flat sweep, so the pool stays saturated
+// across cluster boundaries; points still come back in cluster order with
+// replications aggregated in replication order.
+func RunFig4Sweep(ctx context.Context, base Config, kind AttackKind, reps int, opt SweepOptions) ([]Fig4Point, error) {
 	base = base.withDefaults()
 	clusters := int(base.HighwayLengthM / base.ClusterLengthM)
 	evasive := []int{}
@@ -338,17 +354,31 @@ func RunFig4(base Config, kind AttackKind, reps int) ([]Fig4Point, error) {
 			evasive = append(evasive, c)
 		}
 	}
-	var points []Fig4Point
+	cfgs := make([]Config, clusters*reps)
 	for c := 1; c <= clusters; c++ {
-		cfg := base
-		cfg.Attack = kind
-		cfg.AttackerCluster = c
-		cfg.EvasiveClusters = evasive
-		outcomes, err := RunMany(cfg, reps, nil)
-		if err != nil {
-			return nil, err
+		for rep := 0; rep < reps; rep++ {
+			cfg := base
+			cfg.Attack = kind
+			cfg.AttackerCluster = c
+			cfg.EvasiveClusters = evasive
+			cfg.Seed = base.Seed + int64(rep)*7919
+			cfgs[(c-1)*reps+rep] = cfg
 		}
-		points = append(points, Fig4Point{Cluster: c, Kind: kind, Summary: metrics.Aggregate(outcomes)})
+	}
+	outcomes, err := exp.Map(ctx, len(cfgs), exp.Options{
+		Workers:  opt.Workers,
+		SeedOf:   func(i int) int64 { return cfgs[i].Seed },
+		Progress: opt.Progress,
+	}, func(_ context.Context, i int) (metrics.Outcome, error) {
+		return Run(cfgs[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	points := make([]Fig4Point, 0, clusters)
+	for c := 1; c <= clusters; c++ {
+		batch := outcomes[(c-1)*reps : c*reps]
+		points = append(points, Fig4Point{Cluster: c, Kind: kind, Summary: metrics.Aggregate(batch)})
 	}
 	return points, nil
 }

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -8,6 +9,7 @@ import (
 	"blackdp/internal/attack"
 	"blackdp/internal/cluster"
 	"blackdp/internal/core"
+	"blackdp/internal/exp"
 	"blackdp/internal/metrics"
 	"blackdp/internal/mobility"
 	"blackdp/internal/pki"
@@ -542,22 +544,46 @@ func Run(cfg Config) (metrics.Outcome, error) {
 	return w.Run(), nil
 }
 
+// SweepOptions tune a replication sweep.
+type SweepOptions struct {
+	// Workers is the pool size: 0 means one per CPU, 1 reproduces the
+	// serial path exactly. Either way the aggregated results are
+	// byte-identical (see the differential tests).
+	Workers int
+	// Progress, when non-nil, is called after each replication completes.
+	Progress func(done, total int)
+}
+
 // RunMany executes reps independent runs of cfg with derived seeds and
-// returns every outcome. mutate, when non-nil, adjusts the config per rep
-// (after the seed is assigned).
+// returns every outcome in replication order. mutate, when non-nil, adjusts
+// the config per rep (after the seed is assigned). Replications run across
+// one worker per CPU; use RunSweep to choose the worker count.
 func RunMany(cfg Config, reps int, mutate func(rep int, c *Config)) ([]metrics.Outcome, error) {
-	outcomes := make([]metrics.Outcome, 0, reps)
-	for rep := 0; rep < reps; rep++ {
+	return RunSweep(context.Background(), cfg, reps, SweepOptions{}, mutate)
+}
+
+// RunSweep is RunMany with cancellation and sweep options. Replication
+// seeds are a pure function of cfg.Seed and the replication index, worlds
+// are built privately per replication, and outcomes are collected in
+// replication order — so any worker count yields identical results. The
+// mutate hooks are invoked serially in replication order before the sweep
+// fans out, preserving RunMany's historical contract (hooks may touch
+// caller state without locking).
+func RunSweep(ctx context.Context, cfg Config, reps int, opt SweepOptions, mutate func(rep int, c *Config)) ([]metrics.Outcome, error) {
+	cfgs := make([]Config, reps)
+	for rep := range cfgs {
 		c := cfg
 		c.Seed = cfg.Seed + int64(rep)*7919
 		if mutate != nil {
 			mutate(rep, &c)
 		}
-		o, err := Run(c)
-		if err != nil {
-			return nil, err
-		}
-		outcomes = append(outcomes, o)
+		cfgs[rep] = c
 	}
-	return outcomes, nil
+	return exp.Map(ctx, reps, exp.Options{
+		Workers:  opt.Workers,
+		SeedOf:   func(rep int) int64 { return cfgs[rep].Seed },
+		Progress: opt.Progress,
+	}, func(_ context.Context, rep int) (metrics.Outcome, error) {
+		return Run(cfgs[rep])
+	})
 }

@@ -116,7 +116,22 @@ func (r *reader) u64() uint64 {
 
 func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
 
-func (r *reader) boolean() bool { return r.u8() != 0 }
+// boolean accepts only the canonical encodings 0 and 1. Rejecting other
+// bytes keeps decode∘encode the identity on every accepted input — a
+// relayed packet cannot silently normalise in flight (found by FuzzDecode).
+func (r *reader) boolean() bool {
+	switch v := r.u8(); v {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		if r.err == nil {
+			r.err = fmt.Errorf("wire: non-canonical boolean byte %#x", v)
+		}
+		return true
+	}
+}
 
 func (r *reader) duration() time.Duration { return time.Duration(r.u64()) }
 

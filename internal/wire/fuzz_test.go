@@ -1,0 +1,60 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzDecode holds the codec to its two safety contracts on hostile input:
+// Decode must never panic (black holes control what arrives on the air),
+// and any successful decode must re-encode canonically — encode(decode(b))
+// yields b again, so a relayed packet cannot mutate in flight.
+//
+// CI runs this as a short smoke (-fuzztime); run it open-ended with:
+//
+//	go test -run '^$' -fuzz FuzzDecode ./internal/wire
+func FuzzDecode(f *testing.F) {
+	// Seed corpus: the canonical encoding of every packet kind, plus the
+	// degenerate shapes the unit tests already pin down.
+	for _, p := range samplePackets() {
+		b, err := p.MarshalBinary()
+		if err != nil {
+			f.Fatalf("%v: MarshalBinary: %v", p.Kind(), err)
+		}
+		f.Add(b)
+		// A truncation and a corrupted-length variant per kind steer the
+		// fuzzer toward the variable-length field parsing.
+		f.Add(b[:len(b)/2])
+		if len(b) > 3 {
+			mut := append([]byte(nil), b...)
+			mut[1] ^= 0xff
+			f.Add(mut)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xff, 0xff, 0xff})
+	f.Add(bytes.Repeat([]byte{0x41}, 64))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		p, err := Decode(b) // must not panic, whatever b holds
+		if err != nil {
+			return
+		}
+		enc, err := p.MarshalBinary()
+		if err != nil {
+			t.Fatalf("decoded packet failed to re-encode: %v\n in %x", err, b)
+		}
+		if !bytes.Equal(enc, b) {
+			t.Fatalf("decode/encode not canonical:\n in  %x\n out %x", b, enc)
+		}
+		again, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-decode of canonical bytes failed: %v", err)
+		}
+		if !reflect.DeepEqual(p, again) {
+			t.Fatalf("decode/encode/decode drifted:\n first  %+v\n second %+v", p, again)
+		}
+	})
+}
