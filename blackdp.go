@@ -29,6 +29,7 @@ import (
 	"context"
 	"time"
 
+	"blackdp/internal/fault"
 	"blackdp/internal/metrics"
 	"blackdp/internal/scenario"
 	"blackdp/internal/wire"
@@ -62,6 +63,15 @@ type (
 	FogResult = scenario.FogResult
 	// SeqNum is an AODV destination sequence number.
 	SeqNum = wire.SeqNum
+	// FaultPlan is a declarative infrastructure fault schedule for one run
+	// (Config.Fault). The zero value injects nothing.
+	FaultPlan = fault.Plan
+	// HeadCrash takes one cluster head offline at a simulated instant.
+	HeadCrash = fault.HeadCrash
+	// LinkCut severs one backbone chain link.
+	LinkCut = fault.LinkCut
+	// BurstLoss configures a Gilbert–Elliott two-state loss channel.
+	BurstLoss = fault.BurstLoss
 )
 
 // Attack kinds.
@@ -90,6 +100,18 @@ func DefaultConfig() Config { return scenario.DefaultConfig() }
 
 // Run executes one simulation and returns its outcome.
 func Run(cfg Config) (Outcome, error) { return scenario.Run(cfg) }
+
+// CrashPlan builds the most common fault schedule: one head crash with an
+// optional recovery (recoverAt = 0 keeps it down for the rest of the run).
+func CrashPlan(cluster int, at, recoverAt time.Duration) FaultPlan {
+	return scenario.CrashPlan(cluster, at, recoverAt)
+}
+
+// BurstPlan builds a Gilbert–Elliott burst-loss fault schedule with a
+// lossless good state.
+func BurstPlan(lossBad, goodToBad, badToGood float64) FaultPlan {
+	return scenario.BurstPlan(lossBad, goodToBad, badToGood)
+}
 
 // RunMany executes reps runs with derived seeds across one worker per CPU;
 // mutate, when non-nil, adjusts each rep's config. Results are identical to

@@ -45,6 +45,7 @@ var experiments = []struct {
 	{"density", density},
 	{"overhead", overhead},
 	{"fog", fog},
+	{"faults", faults},
 }
 
 func lookup(name string) func(params) ([]*report.Table, error) {
@@ -293,6 +294,88 @@ func fog(p params) ([]*report.Table, error) {
 	t.Note("the paper's mitigation holds: fog verifiers flatten the queueing delay that")
 	t.Note("would otherwise grow linearly with cluster density.")
 	return []*report.Table{t}, nil
+}
+
+// faults sweeps injected infrastructure failures: RSU head outages of rising
+// duration (bridged by d_req retransmission, then head failover) and a
+// Gilbert–Elliott burst-loss channel of rising severity. The last outage row
+// ablates the robustness machinery to show it is load-bearing.
+func faults(p params) ([]*report.Table, error) {
+	outage := report.New(fmt.Sprintf("FAULTS: reporter-head outage — retry + failover (%d runs per row)", p.reps),
+		"head_downtime", "detected", "retransmits", "failovers", "mean_latency", "mean_packets")
+	outage.Slug = "faults-head-outage"
+	const crashAt = time.Second // before the d_req is filed at ~1.5s
+	type outageRow struct {
+		name    string
+		plan    blackdp.FaultPlan
+		retries int // 0 = protocol default, -1 = ablated
+	}
+	for _, r := range []outageRow{
+		{"none", blackdp.FaultPlan{}, 0},
+		{"5s", blackdp.CrashPlan(1, crashAt, crashAt+5*time.Second), 0},
+		{"10s", blackdp.CrashPlan(1, crashAt, crashAt+10*time.Second), 0},
+		{"permanent", blackdp.CrashPlan(1, crashAt, 0), 0},
+		{"permanent (no retry/failover)", blackdp.CrashPlan(1, crashAt, 0), -1},
+	} {
+		cfg := blackdp.DefaultConfig()
+		cfg.Seed = p.seed
+		cfg.AttackerCluster = 4 // the source (and its head) start in cluster 1
+		cfg.Fault = r.plan
+		cfg.Vehicle.DReqRetries = r.retries
+		outcomes, err := blackdp.RunSweep(p.ctx, cfg, p.reps, p.sweepOpts(), nil)
+		if err != nil {
+			return nil, err
+		}
+		s := blackdp.Aggregate(outcomes)
+		var retx, fo uint64
+		for _, o := range outcomes {
+			retx += o.DReqRetransmits
+			fo += o.Failovers
+		}
+		_, mean, _ := s.PacketStats()
+		if err := outage.AddRowf(r.name, frac(s.TP, s.Runs), retx, fo,
+			s.MeanLatency().Round(time.Millisecond), fmt.Sprintf("%.1f", mean)); err != nil {
+			return nil, err
+		}
+	}
+	outage.Note("the crash targets the reporter's own head before the d_req goes out; short")
+	outage.Note("outages are bridged by retransmission, a dead head by failover to the adjacent")
+	outage.Note("cluster. The ablated row files one d_req into the void and gives up.")
+
+	burst := report.New(fmt.Sprintf("FAULTS: Gilbert–Elliott burst loss (%d runs per row)", p.reps),
+		"bad_state_loss", "effective_loss", "detected", "false_pos", "mean_latency", "delivery")
+	burst.Slug = "faults-burst-loss"
+	for _, lossBad := range []float64{0, 0.06, 0.15, 0.30} {
+		cfg := blackdp.DefaultConfig()
+		cfg.Seed = p.seed
+		cfg.AttackerCluster = 4
+		if lossBad > 0 {
+			cfg.Fault = blackdp.BurstPlan(lossBad, 0.1, 0.2)
+		}
+		outcomes, err := blackdp.RunSweep(p.ctx, cfg, p.reps, p.sweepOpts(), nil)
+		if err != nil {
+			return nil, err
+		}
+		s := blackdp.Aggregate(outcomes)
+		var offered, lost uint64
+		for _, o := range outcomes {
+			offered += o.AirOffered
+			lost += o.AirLost
+		}
+		effective := 0.0
+		if offered > 0 {
+			effective = float64(lost) / float64(offered)
+		}
+		if err := burst.AddRowf(fmt.Sprintf("%.0f%%", 100*lossBad),
+			fmt.Sprintf("%.1f%%", 100*effective), frac(s.TP, s.Runs), s.FP,
+			s.MeanLatency().Round(time.Millisecond),
+			fmt.Sprintf("%.0f%%", 100*s.DeliveryRatio())); err != nil {
+			return nil, err
+		}
+	}
+	burst.Note("bursts hit whole frame trains, the worst case for request/reply protocols;")
+	burst.Note("retransmission keeps the degradation gradual instead of a cliff.")
+	return []*report.Table{outage, burst}, nil
 }
 
 func crypto(p params) ([]*report.Table, error) {

@@ -83,7 +83,7 @@ func TestAllSubcommandsWorkersDifferential(t *testing.T) {
 // TestWorkersFlagDefaultsAndDispatch covers the CLI wiring: every
 // documented subcommand resolves, and unknown names do not.
 func TestWorkersFlagDefaultsAndDispatch(t *testing.T) {
-	for _, name := range []string{"table1", "fig4", "fig5", "compare", "connector", "crypto", "loss", "density", "overhead", "fog"} {
+	for _, name := range []string{"table1", "fig4", "fig5", "compare", "connector", "crypto", "loss", "density", "overhead", "fog", "faults"} {
 		if lookup(name) == nil {
 			t.Errorf("subcommand %q not registered", name)
 		}

@@ -33,6 +33,9 @@ type Client struct {
 	head      wire.NodeID
 	blacklist map[wire.NodeID]wire.RevokedCert
 
+	unanswered int  // consecutive join broadcasts without a reply
+	failover   bool // soliciting adjacent heads because ours stopped answering
+
 	retryTimer    *sim.Timer
 	boundaryTimer *sim.Timer
 	stopped       bool
@@ -41,14 +44,19 @@ type Client struct {
 
 // ClientStats counts membership client activity.
 type ClientStats struct {
-	JoinRequests uint64
-	Joins        uint64
-	Leaves       uint64
+	JoinRequests  uint64
+	Joins         uint64
+	Leaves        uint64
+	FailoverJoins uint64 // joins completed under the failover flag
 }
 
 // joinRetry is how long the client waits for a join reply before
 // rebroadcasting its request.
 const joinRetry = time.Second
+
+// failoverAfter is how many consecutive unanswered join broadcasts make the
+// client solicit adjacent heads: the covering head is presumed dead.
+const failoverAfter = 3
 
 // NewClient creates a membership client for a vehicle moving as mobile,
 // transmitting with send and identifying itself with self().
@@ -104,6 +112,10 @@ func (c *Client) requestJoin() {
 	}
 	now := c.sched.Now()
 	pos := c.mobile.PositionAt(now)
+	if c.unanswered >= failoverAfter {
+		// The covering head never answered; start soliciting neighbours.
+		c.failover = true
+	}
 	req := &wire.JoinReq{
 		Vehicle:    c.self(),
 		PosX:       pos.X,
@@ -111,6 +123,7 @@ func (c *Client) requestJoin() {
 		SpeedMS:    c.mobile.Speed(),
 		Eastbound:  c.mobile.Direction() == mobility.Eastbound,
 		Overlapped: c.highway.OverlapZone(pos.X, c.txRange),
+		Failover:   c.failover,
 	}
 	b, err := req.MarshalBinary()
 	if err != nil {
@@ -118,8 +131,23 @@ func (c *Client) requestJoin() {
 	}
 	c.send(wire.Broadcast, b)
 	c.stats.JoinRequests++
+	c.unanswered++
 	c.retryTimer.Stop()
 	c.retryTimer = c.sched.After(joinRetry, c.requestJoin)
+}
+
+// Rejoin deregisters and immediately solicits a new head with the failover
+// flag raised: the vehicle's detection layer calls it when the registered
+// head has stopped answering, so adjacent heads may admit the vehicle even
+// though its position is outside their segment.
+func (c *Client) Rejoin() {
+	if c.stopped {
+		return
+	}
+	c.cluster = 0
+	c.head = wire.Broadcast
+	c.failover = true
+	c.requestJoin()
 }
 
 // HandlePacket processes membership packets addressed to this vehicle,
@@ -133,7 +161,18 @@ func (c *Client) HandlePacket(p wire.Packet, from wire.NodeID) bool {
 		if pkt.Vehicle != c.self() {
 			return true // overheard someone else's admission
 		}
+		if c.cluster != 0 && pkt.Head != c.head {
+			// Already registered; a late admission from a second head (two
+			// neighbours both answered a failover broadcast) must not
+			// flip-flop the registration.
+			return true
+		}
 		c.retryTimer.Stop()
+		if c.failover {
+			c.stats.FailoverJoins++
+		}
+		c.unanswered = 0
+		c.failover = false
 		c.cluster = pkt.Cluster
 		c.head = pkt.Head
 		c.stats.Joins++

@@ -41,10 +41,11 @@ type Head struct {
 	send    Sender
 	cb      HeadCallbacks
 
-	members   map[wire.NodeID]*Member
-	history   map[wire.NodeID]Member
-	blacklist map[uint64]wire.RevokedCert // by certificate serial
-	blackIDs  map[wire.NodeID]uint64      // pseudonym -> serial
+	members    map[wire.NodeID]*Member
+	history    map[wire.NodeID]Member
+	blacklist  map[uint64]wire.RevokedCert // by certificate serial
+	blackIDs   map[wire.NodeID]uint64      // pseudonym -> serial
+	blackOrder []uint64                    // serials in revocation order, for deterministic notices
 
 	// memberTTL prunes members that silently left (fled the highway).
 	memberTTL time.Duration
@@ -57,6 +58,7 @@ type HeadStats struct {
 	Rejoins          uint64
 	Leaves           uint64
 	RejectedJoins    uint64
+	FailoverJoins    uint64 // out-of-segment vehicles admitted under the failover flag
 	BlacklistNotices uint64
 	Pruned           uint64
 }
@@ -109,10 +111,17 @@ func (h *Head) handleJoin(p *wire.JoinReq) {
 	pos := mobility.Position{X: p.PosX, Y: p.PosY}
 	// Accept only vehicles whose reported position falls in this head's
 	// segment; in an overlapped zone several heads hear the broadcast and
-	// exactly the covering one accepts (paper SIII-A).
-	if h.highway.ClusterAt(pos.X) != int(h.cluster) {
-		h.stats.RejectedJoins++
-		return
+	// exactly the covering one accepts (paper SIII-A). A failover join — the
+	// vehicle's own head stopped answering — may be admitted by a head one
+	// segment over, so detection service survives a crashed RSU.
+	seg := h.highway.ClusterAt(pos.X)
+	if seg != int(h.cluster) {
+		adjacent := seg == int(h.cluster)-1 || seg == int(h.cluster)+1
+		if !p.Failover || !adjacent {
+			h.stats.RejectedJoins++
+			return
+		}
+		h.stats.FailoverJoins++
 	}
 	now := h.sched.Now()
 	if m, ok := h.members[p.Vehicle]; ok {
@@ -205,6 +214,7 @@ func (h *Head) AddRevoked(rc wire.RevokedCert) {
 	}
 	h.blacklist[rc.CertSerial] = rc
 	h.blackIDs[rc.Node] = rc.CertSerial
+	h.blackOrder = append(h.blackOrder, rc.CertSerial)
 	// The attacker is no longer a legitimate member.
 	if _, ok := h.members[rc.Node]; ok {
 		delete(h.members, rc.Node)
@@ -225,14 +235,24 @@ func (h *Head) IsBlacklisted(id wire.NodeID) bool {
 // BlacklistSize returns the number of live revocation records.
 func (h *Head) BlacklistSize() int { return len(h.blacklist) }
 
+// Blacklist returns the live revocation records in revocation order.
+func (h *Head) Blacklist() []wire.RevokedCert {
+	out := make([]wire.RevokedCert, 0, len(h.blacklist))
+	for _, serial := range h.blackOrder {
+		if rc, live := h.blacklist[serial]; live {
+			out = append(out, rc)
+		}
+	}
+	return out
+}
+
 func (h *Head) sendBlacklistTo(to wire.NodeID) {
 	if len(h.blacklist) == 0 {
 		return
 	}
-	notice := &wire.BlacklistNotice{Head: h.id, Cluster: h.cluster}
-	for _, rc := range h.blacklist {
-		notice.Revoked = append(notice.Revoked, rc)
-	}
+	// Iterate in revocation order, not map order: the notice's bytes must be
+	// identical across runs for replay determinism.
+	notice := &wire.BlacklistNotice{Head: h.id, Cluster: h.cluster, Revoked: h.Blacklist()}
 	b, err := notice.MarshalBinary()
 	if err != nil {
 		panic("cluster: marshalling BlacklistNotice: " + err.Error())
@@ -256,11 +276,22 @@ func (h *Head) Prune() {
 			}
 		}
 	}
+	expiredBlack := false
 	for serial, rc := range h.blacklist {
 		if rc.Expiry <= now {
 			delete(h.blacklist, serial)
 			delete(h.blackIDs, rc.Node)
+			expiredBlack = true
 		}
+	}
+	if expiredBlack {
+		live := h.blackOrder[:0]
+		for _, serial := range h.blackOrder {
+			if _, ok := h.blacklist[serial]; ok {
+				live = append(live, serial)
+			}
+		}
+		h.blackOrder = live
 	}
 	for id, m := range h.history {
 		if now-m.LastSeen >= 10*h.memberTTL {

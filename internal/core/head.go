@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"blackdp/internal/aodv"
@@ -29,6 +30,14 @@ type HeadConfig struct {
 	// MaxForwards bounds how many times a d_req may be handed between
 	// heads before the suspect is declared unreachable.
 	MaxForwards uint8
+	// ForwardRetries is how many times a failed backbone hand-off (crashed
+	// peer, severed link) is retried with capped exponential backoff before
+	// the suspect is declared unreachable. 0 means the default (5);
+	// -1 disables retries — the ablation baseline, failing on first error.
+	ForwardRetries int
+	// ForwardTimeout is the initial backbone retry delay; each retry doubles
+	// it, capped at 4x.
+	ForwardTimeout time.Duration
 	// AuthProcessing is the simulated CPU time the head spends verifying
 	// one sealed packet from a vehicle (signature + certificate checks).
 	// Zero models a head with unbounded verification capacity; a positive
@@ -60,6 +69,12 @@ func (c HeadConfig) withDefaults() HeadConfig {
 	if c.MaxForwards == 0 {
 		c.MaxForwards = 3
 	}
+	if c.ForwardRetries == 0 {
+		c.ForwardRetries = 5
+	}
+	if c.ForwardTimeout == 0 {
+		c.ForwardTimeout = time.Second
+	}
 	return c
 }
 
@@ -78,6 +93,10 @@ type HeadAgentStats struct {
 	RenewalsProxy  uint64
 	AuthQueued     uint64        // verifications that passed through the server queue
 	AuthMaxLatency time.Duration // worst queueing + processing delay observed
+
+	ForwardRetransmits uint64 // backbone hand-off retries after send failures
+	VerdictReplays     uint64 // cached verdicts re-sent for retransmitted d_reqs
+	Crashes            uint64 // injected crashes survived
 }
 
 // reporterRef identifies who asked for a detection and where to send the
@@ -85,6 +104,16 @@ type HeadAgentStats struct {
 type reporterRef struct {
 	node    wire.NodeID
 	cluster wire.ClusterID
+	nonce   uint64 // the d_req's retransmission nonce, 0 if absent
+}
+
+// resolvedCase remembers a delivered verdict so a retransmitted d_req (same
+// nonce — the verdict was lost in flight) can be re-answered without burning
+// a second examination. A different nonce is a genuinely new report.
+type resolvedCase struct {
+	verdict  wire.Verdict
+	teammate wire.NodeID
+	nonces   map[uint64]bool
 }
 
 // detectionCase is one entry of the paper's verification table, plus the
@@ -120,8 +149,10 @@ type HeadAgent struct {
 	ep      *radio.BackboneEndpoint
 
 	cases           map[wire.NodeID]*detectionCase
+	resolved        map[wire.NodeID]*resolvedCase
 	pendingRenewals map[wire.NodeID]bool
 	verifiers       []time.Duration // per-server busy-until (head + fog nodes)
+	crashed         bool
 	stats           HeadAgentStats
 }
 
@@ -140,6 +171,7 @@ func NewHeadAgent(env Env, cfg HeadConfig, cred *pki.Credential, c wire.ClusterI
 		cluster:         c,
 		pos:             env.Highway.ClusterCenter(int(c)),
 		cases:           make(map[wire.NodeID]*detectionCase),
+		resolved:        make(map[wire.NodeID]*resolvedCase),
 		pendingRenewals: make(map[wire.NodeID]bool),
 	}
 	h.verifiers = make([]time.Duration, 1+h.cfg.FogNodes)
@@ -175,10 +207,52 @@ func (h *HeadAgent) Start() {
 
 func (h *HeadAgent) schedulePrune() {
 	h.env.Sched.After(5*time.Second, func() {
-		h.memb.Prune()
+		if !h.crashed {
+			h.memb.Prune()
+		}
 		h.schedulePrune()
 	})
 }
+
+// Crash takes the head fully offline: radio silenced, backbone port down,
+// every open detection case aborted, in-flight renewals dropped. Membership
+// and blacklist state survive — RSU storage is non-volatile — so Recover
+// resumes service where the crash left it. The fault layer drives this.
+func (h *HeadAgent) Crash() {
+	if h.crashed {
+		return
+	}
+	h.crashed = true
+	h.stats.Crashes++
+	h.ifc.SetSilenced(true)
+	h.ep.SetDown(true)
+	// Abort open cases in deterministic order; their disposable identities
+	// and timers die with the head.
+	suspects := make([]wire.NodeID, 0, len(h.cases))
+	for s := range h.cases {
+		suspects = append(suspects, s)
+	}
+	sort.Slice(suspects, func(i, j int) bool { return suspects[i] < suspects[j] })
+	for _, s := range suspects {
+		h.closeCase(h.cases[s])
+	}
+	h.pendingRenewals = make(map[wire.NodeID]bool)
+	h.env.Tracer.Logf(h.NodeID(), trace.CatDetect, "head for cluster %d crashed", h.cluster)
+}
+
+// Recover brings a crashed head back online.
+func (h *HeadAgent) Recover() {
+	if !h.crashed {
+		return
+	}
+	h.crashed = false
+	h.ifc.SetSilenced(false)
+	h.ep.SetDown(false)
+	h.env.Tracer.Logf(h.NodeID(), trace.CatDetect, "head for cluster %d recovered", h.cluster)
+}
+
+// Crashed reports whether the head is currently offline.
+func (h *HeadAgent) Crashed() bool { return h.crashed }
 
 // NodeID returns the head's pseudonym.
 func (h *HeadAgent) NodeID() wire.NodeID { return h.cred.NodeID() }
@@ -366,10 +440,21 @@ func (h *HeadAgent) relayRenewal(env *wire.Secure, f radio.Frame) {
 // admitDetectReq is the verification-table entry point for both local and
 // forwarded d_reqs.
 func (h *HeadAgent) admitDetectReq(p *wire.DetectReq) {
+	if h.crashed {
+		return // a deferred verification can land after the crash
+	}
 	h.stats.DReqReceived++
 	now := h.env.Sched.Now()
-	rep := reporterRef{node: p.Reporter, cluster: p.ReporterCluster}
+	rep := reporterRef{node: p.Reporter, cluster: p.ReporterCluster, nonce: p.Nonce}
 
+	if rc, ok := h.resolved[p.Suspect]; ok && p.Nonce != 0 && rc.nonces[p.Nonce] {
+		// Same nonce as an already-answered report: the verdict was lost in
+		// flight. Replay it instead of re-examining the suspect.
+		h.stats.DReqDuplicates++
+		h.stats.VerdictReplays++
+		h.respondVerdict(&detectionCase{suspect: p.Suspect, reporter: []reporterRef{rep}}, rc.verdict, rc.teammate)
+		return
+	}
 	if h.memb.IsBlacklisted(p.Suspect) {
 		h.respond(&detectionCase{suspect: p.Suspect, reporter: []reporterRef{rep}}, wire.VerdictAlreadyKnown)
 		return
@@ -379,8 +464,12 @@ func (h *HeadAgent) admitDetectReq(p *wire.DetectReq) {
 		// the reporter, send no extra probes (the paper's congestion
 		// optimisation).
 		h.stats.DReqDuplicates++
-		for _, r := range c.reporter {
+		for i, r := range c.reporter {
 			if r.node == rep.node {
+				// A retransmission while the case runs; the reporter may
+				// have re-registered elsewhere since, so refresh the
+				// delivery route for its eventual verdict.
+				c.reporter[i].cluster = rep.cluster
 				return
 			}
 		}
@@ -448,13 +537,34 @@ func (h *HeadAgent) routeCaseElsewhere(c *detectionCase, p *wire.DetectReq) {
 	if err != nil {
 		panic("core: marshalling forwarded d_req: " + err.Error())
 	}
-	if err := h.ep.Send(target, b); err != nil {
+	h.forwardCase(c, fwd.Suspect, target, b, 0)
+}
+
+// forwardCase hands the marshalled d_req to the target head, retrying failed
+// backbone sends (crashed peer, severed link) with capped exponential
+// backoff before giving up on the suspect as unreachable.
+func (h *HeadAgent) forwardCase(c *detectionCase, suspect, target wire.NodeID, b []byte, attempt int) {
+	if h.crashed {
+		return
+	}
+	if err := h.ep.Send(target, b); err == nil {
+		h.stats.DReqForwarded++
+		h.env.Tally.Case(suspect).addForward()
+		h.env.Tracer.Logf(h.NodeID(), trace.CatDetect, "d_req for %v forwarded to %v", suspect, target)
+		return
+	}
+	if h.cfg.ForwardRetries < 0 || attempt >= h.cfg.ForwardRetries {
+		h.stats.Unreachable++
 		h.respond(c, wire.VerdictUnreachable)
 		return
 	}
-	h.stats.DReqForwarded++
-	h.env.Tally.Case(p.Suspect).addForward()
-	h.env.Tracer.Logf(h.NodeID(), trace.CatDetect, "d_req for %v forwarded to %v", p.Suspect, target)
+	h.stats.ForwardRetransmits++
+	backoff := h.cfg.ForwardTimeout << uint(attempt)
+	if cap := 4 * h.cfg.ForwardTimeout; backoff > cap {
+		backoff = cap
+	}
+	h.env.Tracer.Logf(h.NodeID(), trace.CatDetect, "hand-off of %v to %v failed; retry %d in %v", suspect, target, attempt+1, backoff)
+	h.env.Sched.After(backoff, func() { h.forwardCase(c, suspect, target, b, attempt+1) })
 }
 
 // beginExamination starts (or resumes) probing a suspect that is registered
@@ -508,8 +618,14 @@ func (h *HeadAgent) sendProbe(c *detectionCase, demandSeq wire.SeqNum, wantNext 
 	c.disposable.Send(target, b)
 	h.env.Tally.Case(c.suspect).addProbe()
 	h.env.Tracer.Logf(h.NodeID(), trace.CatDetect, "probe stage %d -> %v (fake dest %v, demand seq %d)", c.stage, target, c.fakeDest, demandSeq)
+	// Retried probes back off exponentially (capped at 4x) so a lossy channel
+	// gets progressively longer reply windows.
+	timeout := h.cfg.ProbeTimeout << uint(c.retries)
+	if cap := 4 * h.cfg.ProbeTimeout; timeout > cap {
+		timeout = cap
+	}
 	c.timer.Stop()
-	c.timer = h.env.Sched.After(h.cfg.ProbeTimeout, func() { h.probeTimeout(c) })
+	c.timer = h.env.Sched.After(timeout, func() { h.probeTimeout(c) })
 }
 
 // handleProbeReply processes frames arriving at the disposable identity.
@@ -546,6 +662,12 @@ func (h *HeadAgent) handleProbeReply(c *detectionCase, f radio.Frame) {
 	}
 	if rep.Issuer != expected || f.From != expected {
 		// A relayed or third-party reply is not the suspect's own claim.
+		return
+	}
+	if c.stage == 2 && rep.DestSeq <= c.priorSeq {
+		// A re-delivered copy of the stage-1 reply (fault injection can
+		// duplicate frames), not an answer to the higher-sequence demand —
+		// a genuine stage-2 claim must exceed the demanded sequence.
 		return
 	}
 	h.env.Tally.Case(c.suspect).addProbeReply()
@@ -703,6 +825,22 @@ func (h *HeadAgent) respond(c *detectionCase, v wire.Verdict) {
 // respondVerdict delivers the verdict to each reporter: directly over radio
 // for local members, via the reporter's own head otherwise.
 func (h *HeadAgent) respondVerdict(c *detectionCase, v wire.Verdict, teammate wire.NodeID) {
+	// Remember which report nonces this verdict answers: if the verdict is
+	// lost in flight, the reporter's retransmission (same nonce) is served
+	// from this cache instead of a fresh examination.
+	rc := h.resolved[c.suspect]
+	if rc == nil {
+		rc = &resolvedCase{nonces: make(map[uint64]bool)}
+	}
+	rc.verdict, rc.teammate = v, teammate
+	for _, rep := range c.reporter {
+		if rep.nonce != 0 {
+			rc.nonces[rep.nonce] = true
+		}
+	}
+	if len(rc.nonces) > 0 {
+		h.resolved[c.suspect] = rc
+	}
 	for _, rep := range c.reporter {
 		resp := &wire.DetectResp{Reporter: rep.node, Suspect: c.suspect, Verdict: v, Teammate: teammate}
 		if rep.cluster == h.cluster || rep.cluster == 0 {

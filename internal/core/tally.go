@@ -141,7 +141,20 @@ func (c *CaseTally) addIsolation(n int) {
 }
 
 func (c *CaseTally) resolve(v wire.Verdict, teammate wire.NodeID, at time.Duration) {
-	if c != nil && c.Verdict == wire.VerdictUnknown {
+	if c == nil {
+		return
+	}
+	if c.Verdict == wire.VerdictUnknown {
+		c.Verdict = v
+		c.Teammate = teammate
+		c.ResolvedAt = at
+		return
+	}
+	// Under injected faults a case can resolve twice: an early Unreachable
+	// (forwarding failed) followed by a genuine conviction once the reporter
+	// failed over to a live head. The conviction wins — the attacker WAS
+	// detected, just late.
+	if v == wire.VerdictMalicious && c.Verdict != wire.VerdictMalicious && c.Verdict != wire.VerdictAlreadyKnown {
 		c.Verdict = v
 		c.Teammate = teammate
 		c.ResolvedAt = at

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"blackdp/internal/aodv"
@@ -25,6 +26,17 @@ type VehicleConfig struct {
 	// DetectTimeout is how long the vehicle waits for its cluster head's
 	// verdict after filing a d_req.
 	DetectTimeout time.Duration
+	// DReqRetries is how many times an unanswered d_req is retransmitted
+	// (same nonce, exponential backoff) before the vehicle gives up on its
+	// head and fails over to an adjacent one. 0 means the default (1);
+	// -1 disables both retransmission and failover — the ablation baseline,
+	// matching the paper's fire-and-forget report.
+	DReqRetries int
+	// DReqTimeout is the initial retransmission timeout for an unanswered
+	// d_req; each retry doubles it, capped at 4x. It must exceed the head's
+	// worst-case fault-free verdict latency or healthy runs retransmit
+	// spuriously.
+	DReqTimeout time.Duration
 	// ReportWithoutProbe is the DESIGN.md ablation of the paper's
 	// verification step: report any intermediate route issuer immediately,
 	// without the end-to-end Hello probe and the second discovery round.
@@ -42,6 +54,15 @@ func (c VehicleConfig) withDefaults() VehicleConfig {
 	}
 	if c.DetectTimeout == 0 {
 		c.DetectTimeout = 10 * time.Second
+	}
+	if c.DReqRetries == 0 {
+		c.DReqRetries = 1
+	}
+	if c.DReqTimeout == 0 {
+		// Above the ~5s worst-case fault-free verdict latency (a cooperative
+		// case whose suspect moved to a remote cluster: two hand-offs, three
+		// probe stages), so healthy runs never retransmit.
+		c.DReqTimeout = 8 * time.Second
 	}
 	return c
 }
@@ -120,6 +141,8 @@ type VehicleStats struct {
 	RenewalsApplied uint64
 	DataSent        uint64
 	DataReceived    uint64
+	DReqRetransmits uint64 // d_req resends after verdict timeouts
+	Failovers       uint64 // head-failover attempts after exhausted retries
 }
 
 // verification is the in-flight state of one EstablishRoute call.
@@ -132,6 +155,12 @@ type verification struct {
 	nonce    uint64
 	timer    *sim.Timer
 	minSeq   wire.SeqNum
+
+	// d_req retransmission state, live once fileReport runs.
+	dreq       *wire.DetectReq // the filed report; Nonce stays fixed across resends
+	attempts   int             // sends so far in the current head registration
+	retryTimer *sim.Timer
+	failedOver bool // already rejoined once over this report
 }
 
 // VehicleAgent is one legitimate vehicle: mobility, radio, AODV, cluster
@@ -180,6 +209,7 @@ func NewVehicleAgent(env Env, cfg VehicleConfig, cred *pki.Credential, mobile *m
 	v.client = cluster.NewClient(env.Sched, env.Highway, mobile, env.Medium.Range(),
 		func(to wire.NodeID, payload []byte) { v.ifc.Send(to, payload) }, v.ifc.NodeID,
 		cluster.ClientCallbacks{
+			Joined: func(wire.ClusterID, wire.NodeID) { v.refileReports() },
 			BlacklistUpdated: func(added []wire.RevokedCert) {
 				// Blacklisted nodes must carry no more of our traffic.
 				for _, rc := range added {
@@ -319,6 +349,7 @@ func (v *VehicleAgent) discoverRound(ver *verification) error {
 
 func (v *VehicleAgent) finish(ver *verification, res EstablishResult) {
 	ver.timer.Stop()
+	ver.retryTimer.Stop()
 	if v.verifications[ver.dest] == ver {
 		delete(v.verifications, ver.dest)
 	}
@@ -525,20 +556,103 @@ func (v *VehicleAgent) fileReport(ver *verification, suspect *aodv.Candidate) {
 		Suspect:         suspect.RREP.Issuer,
 		SuspectCluster:  suspect.RREP.IssuerCluster,
 		SuspectSerial:   serial,
+		Nonce:           v.env.RNG.Uint64(),
 	}
-	v.ifc.Send(head, v.seal(dr))
 	v.stats.ReportsFiled++
-	v.env.Tally.Case(dr.Suspect).addDReq(v.env.Sched.Now())
-	v.env.Tracer.Logf(v.NodeID(), trace.CatDetect, "d_req filed against %v (cluster %d)", dr.Suspect, dr.SuspectCluster)
-
 	ver.suspect = suspect
+	ver.dreq = dr
 	v.reports[dr.Suspect] = ver
-	ver.timer = v.env.Sched.After(v.cfg.DetectTimeout, func() {
-		if v.reports[dr.Suspect] == ver {
-			delete(v.reports, dr.Suspect)
-			v.finish(ver, EstablishResult{Status: StatusUnresolved, Suspect: dr.Suspect})
+	v.sendDReq(ver)
+	window := v.cfg.DetectTimeout
+	if v.cfg.DReqRetries >= 0 {
+		// The retry ladder (timeout, 2x, capped) must fit inside the verdict
+		// window or retransmission and failover could never trigger.
+		window = 4 * v.cfg.DetectTimeout
+	}
+	ver.timer = v.env.Sched.After(window, func() { v.reportTimedOut(ver) })
+}
+
+// reportTimedOut gives up on a filed report: no verdict arrived within the
+// detection window (including any retransmissions and failover).
+func (v *VehicleAgent) reportTimedOut(ver *verification) {
+	if v.reports[ver.dreq.Suspect] != ver {
+		return
+	}
+	delete(v.reports, ver.dreq.Suspect)
+	v.finish(ver, EstablishResult{Status: StatusUnresolved, Suspect: ver.dreq.Suspect})
+}
+
+// sendDReq transmits the report to the current head and, when retransmission
+// is enabled, arms the retry timer with capped exponential backoff. The nonce
+// stays fixed across resends so the head can tell a lost-verdict
+// retransmission from a fresh report.
+func (v *VehicleAgent) sendDReq(ver *verification) {
+	dr := ver.dreq
+	head := v.client.Head()
+	if head == wire.Broadcast {
+		return // failover join still in progress; refileReports resumes
+	}
+	dr.ReporterCluster = v.client.Cluster()
+	v.ifc.Send(head, v.seal(dr))
+	ver.attempts++
+	v.env.Tally.Case(dr.Suspect).addDReq(v.env.Sched.Now())
+	v.env.Tracer.Logf(v.NodeID(), trace.CatDetect, "d_req filed against %v (cluster %d, attempt %d)",
+		dr.Suspect, dr.SuspectCluster, ver.attempts)
+	if v.cfg.DReqRetries < 0 {
+		return // ablation: fire and forget, as in the base paper
+	}
+	backoff := v.cfg.DReqTimeout << uint(ver.attempts-1)
+	if cap := 4 * v.cfg.DReqTimeout; backoff > cap {
+		backoff = cap
+	}
+	ver.retryTimer.Stop()
+	ver.retryTimer = v.env.Sched.After(backoff, func() { v.dreqTimedOut(ver) })
+}
+
+// dreqTimedOut retransmits an unanswered d_req, or — once the per-head retry
+// budget is exhausted — abandons the registered head and solicits an adjacent
+// one via the membership failover path.
+func (v *VehicleAgent) dreqTimedOut(ver *verification) {
+	if v.reports[ver.dreq.Suspect] != ver {
+		return
+	}
+	if ver.attempts <= v.cfg.DReqRetries {
+		v.stats.DReqRetransmits++
+		v.env.Tracer.Logf(v.NodeID(), trace.CatDetect, "d_req against %v unanswered; retransmitting", ver.dreq.Suspect)
+		v.sendDReq(ver)
+		return
+	}
+	if ver.failedOver {
+		return // one failover per report; reportTimedOut decides from here
+	}
+	ver.failedOver = true
+	v.stats.Failovers++
+	v.env.Tracer.Logf(v.NodeID(), trace.CatDetect, "head unresponsive; failing over to an adjacent cluster head")
+	// Reaching an adjacent head's radio range can take tens of seconds of
+	// driving; stretch the verdict deadline to give the failover a chance.
+	ver.timer.Stop()
+	ver.timer = v.env.Sched.After(3*v.cfg.DetectTimeout, func() { v.reportTimedOut(ver) })
+	v.client.Rejoin()
+}
+
+// refileReports retransmits failed-over reports to the freshly joined head.
+// The membership Joined callback runs it on every admission; with no pending
+// failover it does nothing, keeping the fault-free path untouched.
+func (v *VehicleAgent) refileReports() {
+	var suspects []wire.NodeID
+	for s, ver := range v.reports {
+		if ver.failedOver {
+			suspects = append(suspects, s)
 		}
-	})
+	}
+	sort.Slice(suspects, func(i, j int) bool { return suspects[i] < suspects[j] })
+	for _, s := range suspects {
+		ver := v.reports[s]
+		ver.attempts = 0 // fresh retry budget at the new head
+		v.sendDReq(ver)
+		ver.timer.Stop()
+		ver.timer = v.env.Sched.After(2*v.cfg.DetectTimeout, func() { v.reportTimedOut(ver) })
+	}
 }
 
 // ReportSuspect files a d_req directly, outside any route establishment —

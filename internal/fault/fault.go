@@ -1,0 +1,148 @@
+// Package fault injects infrastructure failures into a running simulation.
+//
+// A Plan is a declarative schedule of faults — cluster-head crashes, backbone
+// link cuts, and channel impairments — that Schedule translates into
+// scheduler events against a set of Targets callbacks. The plan itself never
+// touches protocol state, so the same plan replays identically across runs
+// and worker counts; everything it triggers goes through the deterministic
+// event queue.
+//
+// The zero Plan is the ablation baseline: Empty() reports true and Schedule
+// registers nothing, leaving the fault-free RNG streams and event order
+// byte-identical to a build without this package.
+package fault
+
+import (
+	"fmt"
+	"time"
+
+	"blackdp/internal/sim"
+)
+
+// HeadCrash takes one cluster head fully offline — radio silenced, backbone
+// port down, all open detection cases aborted — at a point in simulated time,
+// optionally recovering later.
+type HeadCrash struct {
+	Cluster   int           // 1-based cluster whose head crashes
+	At        time.Duration // crash instant
+	RecoverAt time.Duration // 0 = never recovers
+}
+
+// LinkCut severs one backbone chain link (between cluster positions Link and
+// Link+1), optionally healing later.
+type LinkCut struct {
+	Link   int           // 1-based: link i joins clusters i and i+1
+	At     time.Duration // cut instant
+	HealAt time.Duration // 0 = never heals
+}
+
+// BurstLoss configures a Gilbert–Elliott two-state channel on the wireless
+// medium, replacing the uniform loss rate. The zero value means "keep the
+// uniform model".
+type BurstLoss struct {
+	LossGood  float64 // loss probability in the good state
+	LossBad   float64 // loss probability in the bad (fading) state
+	GoodToBad float64 // per-decision transition probability good -> bad
+	BadToGood float64 // per-decision transition probability bad -> good
+}
+
+// Enabled reports whether the burst channel replaces uniform loss.
+func (b BurstLoss) Enabled() bool { return b != BurstLoss{} }
+
+// Plan is a full fault schedule for one run. The zero value injects nothing.
+type Plan struct {
+	HeadCrashes []HeadCrash
+	LinkCuts    []LinkCut
+	Burst       BurstLoss
+	// DuplicateProb duplicates each delivered frame copy with this
+	// probability (MAC retransmit races).
+	DuplicateProb float64
+	// ReorderProb adds up to ReorderMax of extra delay to a frame copy with
+	// this probability, enough to reorder back-to-back frames.
+	ReorderProb float64
+	ReorderMax  time.Duration
+}
+
+// Empty reports whether the plan injects no faults at all.
+func (p Plan) Empty() bool {
+	return len(p.HeadCrashes) == 0 && len(p.LinkCuts) == 0 &&
+		!p.Burst.Enabled() && p.DuplicateProb == 0 && p.ReorderProb == 0
+}
+
+// Validate checks the plan against a highway with the given cluster count.
+func (p Plan) Validate(clusters int) error {
+	for _, c := range p.HeadCrashes {
+		if c.Cluster < 1 || c.Cluster > clusters {
+			return fmt.Errorf("fault: head crash targets cluster %d of %d", c.Cluster, clusters)
+		}
+		if c.At < 0 {
+			return fmt.Errorf("fault: head crash at negative time %v", c.At)
+		}
+		if c.RecoverAt != 0 && c.RecoverAt <= c.At {
+			return fmt.Errorf("fault: head recovery at %v not after crash at %v", c.RecoverAt, c.At)
+		}
+	}
+	for _, l := range p.LinkCuts {
+		if l.Link < 1 || l.Link >= clusters {
+			return fmt.Errorf("fault: link cut targets link %d; highway has links 1..%d", l.Link, clusters-1)
+		}
+		if l.At < 0 {
+			return fmt.Errorf("fault: link cut at negative time %v", l.At)
+		}
+		if l.HealAt != 0 && l.HealAt <= l.At {
+			return fmt.Errorf("fault: link heal at %v not after cut at %v", l.HealAt, l.At)
+		}
+	}
+	for _, pr := range []struct {
+		name string
+		v    float64
+	}{
+		{"burst loss (good)", p.Burst.LossGood},
+		{"burst loss (bad)", p.Burst.LossBad},
+		{"burst good->bad", p.Burst.GoodToBad},
+		{"burst bad->good", p.Burst.BadToGood},
+		{"duplicate", p.DuplicateProb},
+		{"reorder", p.ReorderProb},
+	} {
+		if pr.v < 0 || pr.v > 1 {
+			return fmt.Errorf("fault: %s probability %v outside [0,1]", pr.name, pr.v)
+		}
+	}
+	if p.Burst.Enabled() && p.Burst.BadToGood == 0 && p.Burst.GoodToBad > 0 {
+		return fmt.Errorf("fault: burst channel can enter the bad state but never leave it")
+	}
+	if p.ReorderProb > 0 && p.ReorderMax <= 0 {
+		return fmt.Errorf("fault: reordering enabled with non-positive max delay %v", p.ReorderMax)
+	}
+	return nil
+}
+
+// Targets are the world-side hooks a plan's timed faults fire against. The
+// world wires them to the concrete head agents and backbone; the fault layer
+// stays ignorant of protocol types.
+type Targets struct {
+	CrashHead   func(cluster int)
+	RecoverHead func(cluster int)
+	CutLink     func(link int)
+	HealLink    func(link int)
+}
+
+// Schedule registers the plan's timed faults on s. Channel impairments
+// (burst loss, duplication, reordering) are medium construction options, not
+// events, so they are applied by the world at build time instead.
+func Schedule(s *sim.Scheduler, p Plan, t Targets) {
+	for _, c := range p.HeadCrashes {
+		c := c
+		s.At(c.At, func() { t.CrashHead(c.Cluster) })
+		if c.RecoverAt > 0 {
+			s.At(c.RecoverAt, func() { t.RecoverHead(c.Cluster) })
+		}
+	}
+	for _, l := range p.LinkCuts {
+		l := l
+		s.At(l.At, func() { t.CutLink(l.Link) })
+		if l.HealAt > 0 {
+			s.At(l.HealAt, func() { t.HealLink(l.Link) })
+		}
+	}
+}

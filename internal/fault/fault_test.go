@@ -1,0 +1,93 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"blackdp/internal/sim"
+)
+
+func TestEmptyPlan(t *testing.T) {
+	if !(Plan{}).Empty() {
+		t.Error("zero Plan is not Empty")
+	}
+	for _, p := range []Plan{
+		{HeadCrashes: []HeadCrash{{Cluster: 1, At: time.Second}}},
+		{LinkCuts: []LinkCut{{Link: 1, At: time.Second}}},
+		{Burst: BurstLoss{LossBad: 0.3, GoodToBad: 0.1, BadToGood: 0.2}},
+		{DuplicateProb: 0.1},
+		{ReorderProb: 0.1, ReorderMax: time.Millisecond},
+	} {
+		if p.Empty() {
+			t.Errorf("plan %+v reported Empty", p)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+		want string // substring of the error, "" = valid
+	}{
+		{"zero", Plan{}, ""},
+		{"good crash", Plan{HeadCrashes: []HeadCrash{{Cluster: 3, At: time.Second, RecoverAt: 2 * time.Second}}}, ""},
+		{"cluster too high", Plan{HeadCrashes: []HeadCrash{{Cluster: 6, At: time.Second}}}, "cluster 6"},
+		{"cluster zero", Plan{HeadCrashes: []HeadCrash{{Cluster: 0, At: time.Second}}}, "cluster 0"},
+		{"recover before crash", Plan{HeadCrashes: []HeadCrash{{Cluster: 1, At: 2 * time.Second, RecoverAt: time.Second}}}, "not after"},
+		{"good cut", Plan{LinkCuts: []LinkCut{{Link: 4, At: time.Second}}}, ""},
+		{"link out of range", Plan{LinkCuts: []LinkCut{{Link: 5, At: time.Second}}}, "links 1..4"},
+		{"heal before cut", Plan{LinkCuts: []LinkCut{{Link: 1, At: 2 * time.Second, HealAt: time.Second}}}, "not after"},
+		{"prob out of range", Plan{DuplicateProb: 1.5}, "outside [0,1]"},
+		{"absorbing bad state", Plan{Burst: BurstLoss{LossBad: 1, GoodToBad: 0.5}}, "never leave"},
+		{"reorder without window", Plan{ReorderProb: 0.5}, "non-positive max delay"},
+	}
+	for _, c := range cases {
+		err := c.plan.Validate(5)
+		if c.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+		} else if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestScheduleFiresInOrder(t *testing.T) {
+	s := sim.NewScheduler()
+	var log []string
+	note := func(what string) func(int) {
+		return func(n int) { log = append(log, what) }
+	}
+	Schedule(s, Plan{
+		HeadCrashes: []HeadCrash{{Cluster: 2, At: time.Second, RecoverAt: 3 * time.Second}},
+		LinkCuts:    []LinkCut{{Link: 1, At: 2 * time.Second, HealAt: 4 * time.Second}},
+	}, Targets{
+		CrashHead:   note("crash"),
+		RecoverHead: note("recover"),
+		CutLink:     note("cut"),
+		HealLink:    note("heal"),
+	})
+	s.Run()
+	want := "crash,cut,recover,heal"
+	if got := strings.Join(log, ","); got != want {
+		t.Errorf("fault order = %s, want %s", got, want)
+	}
+}
+
+func TestSchedulePermanentFaults(t *testing.T) {
+	s := sim.NewScheduler()
+	recovered := false
+	Schedule(s, Plan{
+		HeadCrashes: []HeadCrash{{Cluster: 1, At: time.Second}}, // RecoverAt 0
+	}, Targets{
+		CrashHead:   func(int) {},
+		RecoverHead: func(int) { recovered = true },
+	})
+	s.Run()
+	if recovered {
+		t.Error("permanent crash scheduled a recovery")
+	}
+}

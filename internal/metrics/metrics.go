@@ -56,6 +56,21 @@ type Outcome struct {
 	AirFrames uint64
 	AirBytes  uint64
 
+	// AirOffered/AirDelivered/AirLost break out the per-receiver frame-copy
+	// ledger (offered = delivered + lost + still-in-flight at extraction
+	// time); AirDuplicated counts extra copies spawned by fault injection.
+	// Together they quantify how harsh the injected channel actually was.
+	AirOffered    uint64
+	AirDelivered  uint64
+	AirLost       uint64
+	AirDuplicated uint64
+
+	// DReqRetransmits/Failovers count the source's robustness actions:
+	// d_req resends after verdict timeouts and head-failover attempts after
+	// exhausted retries. Both stay 0 in a fault-free run.
+	DReqRetransmits uint64
+	Failovers       uint64
+
 	// EstablishStatus is the source's final establishment status string.
 	EstablishStatus string
 	// DetectionLatency is the time from d_req to verdict (0 if none).

@@ -17,6 +17,7 @@ type Backbone struct {
 	sched      *sim.Scheduler
 	hopLatency time.Duration
 	endpoints  map[wire.NodeID]*BackboneEndpoint
+	downLinks  map[int]bool // severed chain links, by lower chain position
 	stats      Stats
 }
 
@@ -29,6 +30,7 @@ type BackboneEndpoint struct {
 	id   wire.NodeID
 	hop  int
 	recv BackboneReceiver
+	down bool
 }
 
 // NewBackbone creates a wired backbone with the given per-hop latency
@@ -68,17 +70,64 @@ func (b *Backbone) Attach(id wire.NodeID, hop int, recv BackboneReceiver) (*Back
 // Stats returns a snapshot of backbone counters.
 func (b *Backbone) Stats() Stats { return b.stats.clone() }
 
+// CutLink severs the chain link between positions hop and hop+1. Sends whose
+// path crosses a severed link fail immediately, as over a broken fibre.
+func (b *Backbone) CutLink(hop int) {
+	if b.downLinks == nil {
+		b.downLinks = make(map[int]bool)
+	}
+	b.downLinks[hop] = true
+}
+
+// HealLink restores a link severed by CutLink. Healing an intact link is a
+// no-op.
+func (b *Backbone) HealLink(hop int) { delete(b.downLinks, hop) }
+
+// pathBlocked reports whether any severed link lies between chain positions
+// a and b. Co-located endpoints (a == b) share a switch and cross no chain
+// link.
+func (b *Backbone) pathBlocked(x, y int) bool {
+	if len(b.downLinks) == 0 {
+		return false
+	}
+	if x > y {
+		x, y = y, x
+	}
+	for hop := x; hop < y; hop++ {
+		if b.downLinks[hop] {
+			return true
+		}
+	}
+	return false
+}
+
 // NodeID returns the endpoint's identity.
 func (ep *BackboneEndpoint) NodeID() wire.NodeID { return ep.id }
+
+// SetDown takes the endpoint's backbone port offline (true) or back online
+// (false). A down endpoint cannot send, and frames arriving at it are lost.
+func (ep *BackboneEndpoint) SetDown(down bool) { ep.down = down }
+
+// Down reports whether the endpoint's port is offline.
+func (ep *BackboneEndpoint) Down() bool { return ep.down }
 
 // Send delivers payload to endpoint to after the chain latency. It returns
 // an error if the destination is not attached; wired infrastructure knows
 // its peers, so a missing one is a configuration bug worth surfacing.
 func (ep *BackboneEndpoint) Send(to wire.NodeID, payload []byte) error {
 	b := ep.bb
+	if ep.down {
+		return fmt.Errorf("radio: backbone endpoint %v is down", ep.id)
+	}
 	dst, ok := b.endpoints[to]
 	if !ok {
 		return fmt.Errorf("radio: backbone destination %v not attached", to)
+	}
+	if dst.down {
+		return fmt.Errorf("radio: backbone destination %v is down", to)
+	}
+	if b.pathBlocked(ep.hop, dst.hop) {
+		return fmt.Errorf("radio: backbone path %v -> %v crosses a severed link", ep.id, to)
 	}
 	hops := dst.hop - ep.hop
 	if hops < 0 {
@@ -88,8 +137,15 @@ func (ep *BackboneEndpoint) Send(to wire.NodeID, payload []byte) error {
 		hops = 1 // co-located nodes still cross one link
 	}
 	b.stats.count(&b.stats.SentFrames, payload, len(payload))
+	b.stats.count(&b.stats.OfferedFrames, payload, len(payload))
+	b.stats.InFlightFrames++
 	from := ep.id
 	b.sched.After(time.Duration(hops)*b.hopLatency, func() {
+		b.stats.InFlightFrames--
+		if dst.down {
+			b.stats.count(&b.stats.LostFrames, payload, len(payload))
+			return
+		}
 		b.stats.count(&b.stats.DeliveredFrames, payload, len(payload))
 		dst.recv(from, payload)
 	})

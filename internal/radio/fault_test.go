@@ -1,0 +1,238 @@
+package radio
+
+import (
+	"testing"
+	"time"
+
+	"blackdp/internal/sim"
+	"blackdp/internal/wire"
+)
+
+// pushFrames sends n unicast frames from tx to node 2, drains the scheduler,
+// and returns the final stats.
+func pushFrames(t *testing.T, m *Medium, s *sim.Scheduler, tx *Interface, n int) Stats {
+	t.Helper()
+	pkt := payload(t, &wire.Data{Origin: 1, Dest: 2, Payload: make([]byte, 64)})
+	for i := 0; i < n; i++ {
+		tx.Send(2, pkt)
+	}
+	s.Run()
+	return m.Stats()
+}
+
+func TestBurstLossSeverityOrdering(t *testing.T) {
+	h := testHighway(t)
+	// Same seed, rising bad-state loss: effective loss must rise with it.
+	lossAt := func(lossBad float64) uint64 {
+		s := sim.NewScheduler()
+		m := NewMedium(s, sim.NewRNG(11),
+			WithBurstLoss(0, lossBad, 0.2, 0.3))
+		tx := m.Attach(1, fixed(h, 0, 100), func(Frame) {})
+		m.Attach(2, fixed(h, 100, 100), func(Frame) {})
+		return pushFrames(t, m, s, tx, 400).LostFrames.Frames
+	}
+	low, mid, high := lossAt(0.05), lossAt(0.3), lossAt(0.9)
+	if low >= mid || mid >= high {
+		t.Errorf("losses not monotone in burst severity: %d, %d, %d", low, mid, high)
+	}
+	if high == 400 {
+		t.Error("good state lost every frame; burst state machine never recovered")
+	}
+}
+
+func TestBurstLossDeterministic(t *testing.T) {
+	h := testHighway(t)
+	run := func() Stats {
+		s := sim.NewScheduler()
+		m := NewMedium(s, sim.NewRNG(42), WithBurstLoss(0.01, 0.5, 0.1, 0.2))
+		tx := m.Attach(1, fixed(h, 0, 100), func(Frame) {})
+		m.Attach(2, fixed(h, 100, 100), func(Frame) {})
+		return pushFrames(t, m, s, tx, 200)
+	}
+	a, b := run(), run()
+	if a.LostFrames.Frames != b.LostFrames.Frames || a.DeliveredFrames.Frames != b.DeliveredFrames.Frames {
+		t.Errorf("same seed diverged: %+v vs %+v", a.LostFrames, b.LostFrames)
+	}
+}
+
+func TestDuplicationCountsAndConserves(t *testing.T) {
+	h := testHighway(t)
+	s := sim.NewScheduler()
+	m := NewMedium(s, sim.NewRNG(3), WithDuplication(1)) // always duplicate
+	var rx recorder
+	tx := m.Attach(1, fixed(h, 0, 100), func(Frame) {})
+	m.Attach(2, fixed(h, 100, 100), rx.recv)
+	st := pushFrames(t, m, s, tx, 10)
+	if st.DuplicatedFrames.Frames != 10 {
+		t.Errorf("DuplicatedFrames = %d, want 10", st.DuplicatedFrames.Frames)
+	}
+	if st.OfferedFrames.Frames != 20 {
+		t.Errorf("OfferedFrames = %d, want 20 (original + duplicate)", st.OfferedFrames.Frames)
+	}
+	if len(rx.frames) != 20 {
+		t.Errorf("receiver got %d frames, want 20", len(rx.frames))
+	}
+	if err := st.CheckConservation(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReorderingCanInvertArrivalOrder(t *testing.T) {
+	h := testHighway(t)
+	s := sim.NewScheduler()
+	m := NewMedium(s, sim.NewRNG(5), WithReordering(1, 500*time.Millisecond))
+	var seq []byte
+	tx := m.Attach(1, fixed(h, 0, 100), func(Frame) {})
+	m.Attach(2, fixed(h, 100, 100), func(f Frame) {
+		seq = append(seq, f.Payload[len(f.Payload)-1])
+	})
+	for i := byte(0); i < 20; i++ {
+		tx.Send(2, payload(t, &wire.Data{Origin: 1, Dest: 2, Payload: []byte{i}}))
+	}
+	s.Run()
+	if len(seq) != 20 {
+		t.Fatalf("delivered %d frames, want 20", len(seq))
+	}
+	inverted := false
+	for i := 1; i < len(seq); i++ {
+		if seq[i] < seq[i-1] {
+			inverted = true
+			break
+		}
+	}
+	if !inverted {
+		t.Error("500ms reorder window never inverted arrival order across 20 sends")
+	}
+}
+
+// A medium constructed with zero-probability fault options must draw exactly
+// the same RNG sequence as a plain one — fault injection off is the ablation
+// baseline, so the no-fault stream must be untouched.
+func TestZeroProbFaultOptionsPreserveRNGStream(t *testing.T) {
+	h := testHighway(t)
+	run := func(opts ...Option) (times []time.Duration) {
+		s := sim.NewScheduler()
+		all := append([]Option{WithLossRate(0.3)}, opts...)
+		m := NewMedium(s, sim.NewRNG(9), all...)
+		tx := m.Attach(1, fixed(h, 0, 100), func(Frame) {})
+		m.Attach(2, fixed(h, 100, 100), func(Frame) { times = append(times, s.Now()) })
+		pkt := payload(t, &wire.Data{Origin: 1, Dest: 2})
+		for i := 0; i < 50; i++ {
+			tx.Send(2, pkt)
+		}
+		s.Run()
+		return times
+	}
+	plain := run()
+	gated := run(WithDuplication(0), WithReordering(0, time.Second))
+	if len(plain) != len(gated) {
+		t.Fatalf("delivery count changed: %d vs %d", len(plain), len(gated))
+	}
+	for i := range plain {
+		if plain[i] != gated[i] {
+			t.Fatalf("delivery %d time drifted: %v vs %v", i, plain[i], gated[i])
+		}
+	}
+}
+
+func TestMediumConservationWithLoss(t *testing.T) {
+	h := testHighway(t)
+	s := sim.NewScheduler()
+	m := NewMedium(s, sim.NewRNG(13), WithLossRate(0.4), WithDuplication(0.2))
+	tx := m.Attach(1, fixed(h, 0, 100), func(Frame) {})
+	m.Attach(2, fixed(h, 100, 100), func(Frame) {})
+	st := pushFrames(t, m, s, tx, 100)
+	if st.InFlightFrames != 0 {
+		t.Errorf("InFlightFrames = %d after drain, want 0", st.InFlightFrames)
+	}
+	if err := st.CheckConservation(); err != nil {
+		t.Error(err)
+	}
+	if st.LostFrames.Frames == 0 || st.DeliveredFrames.Frames == 0 {
+		t.Errorf("expected a mix of losses and deliveries, got %d lost / %d delivered",
+			st.LostFrames.Frames, st.DeliveredFrames.Frames)
+	}
+}
+
+func TestBackboneLinkCutAndHeal(t *testing.T) {
+	s := sim.NewScheduler()
+	b := NewBackbone(s, time.Millisecond)
+	var got int
+	a, _ := b.Attach(100, 0, func(wire.NodeID, []byte) { got++ })
+	_ = a
+	c, _ := b.Attach(101, 2, func(wire.NodeID, []byte) { got++ })
+	_ = c
+	pkt := []byte{byte(wire.KindDetectReq), 1, 2, 3}
+
+	b.CutLink(1) // severs the chain between positions 1 and 2
+	if err := a.Send(101, pkt); err == nil {
+		t.Error("send across severed link succeeded")
+	}
+	// The cut is directional-agnostic.
+	if err := c.Send(100, pkt); err == nil {
+		t.Error("reverse send across severed link succeeded")
+	}
+	// A path that stays on one side still works.
+	d, _ := b.Attach(102, 1, func(wire.NodeID, []byte) { got++ })
+	_ = d
+	if err := a.Send(102, pkt); err != nil {
+		t.Errorf("send on intact sub-path failed: %v", err)
+	}
+
+	b.HealLink(1)
+	if err := a.Send(101, pkt); err != nil {
+		t.Errorf("send after heal failed: %v", err)
+	}
+	s.Run()
+	if got != 2 {
+		t.Errorf("delivered %d messages, want 2", got)
+	}
+	if err := b.Stats().CheckConservation(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBackboneEndpointDown(t *testing.T) {
+	s := sim.NewScheduler()
+	b := NewBackbone(s, time.Millisecond)
+	var got int
+	a, _ := b.Attach(100, 0, func(wire.NodeID, []byte) { got++ })
+	c, _ := b.Attach(101, 1, func(wire.NodeID, []byte) { got++ })
+	pkt := []byte{byte(wire.KindDetectReq)}
+
+	c.SetDown(true)
+	if err := a.Send(101, pkt); err == nil {
+		t.Error("send to down endpoint succeeded")
+	}
+	if err := c.Send(100, pkt); err == nil {
+		t.Error("send from down endpoint succeeded")
+	}
+
+	// A frame in flight when the destination goes down is lost, not
+	// delivered — and the ledger still balances.
+	c.SetDown(false)
+	if err := a.Send(101, pkt); err != nil {
+		t.Fatalf("send failed: %v", err)
+	}
+	c.SetDown(true)
+	s.Run()
+	if got != 0 {
+		t.Errorf("down endpoint received %d messages, want 0", got)
+	}
+	st := b.Stats()
+	if st.LostFrames.Frames != 1 {
+		t.Errorf("LostFrames = %d, want 1", st.LostFrames.Frames)
+	}
+	if err := st.CheckConservation(); err != nil {
+		t.Error(err)
+	}
+
+	c.SetDown(false)
+	if err := a.Send(101, pkt); err != nil {
+		t.Fatalf("send after recovery failed: %v", err)
+	}
+	s.Run()
+	if got != 1 {
+		t.Errorf("recovered endpoint received %d messages, want 1", got)
+	}
+}

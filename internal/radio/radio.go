@@ -66,14 +66,55 @@ func WithJitter(max time.Duration) Option {
 	return func(m *Medium) { m.jitterMax = max }
 }
 
+// WithBurstLoss replaces the uniform loss process with a two-state
+// Gilbert–Elliott channel: the medium sits in a good or bad fading state,
+// transitions between them with the given per-draw probabilities, and drops
+// each frame copy with the loss probability of the current state. The state
+// is channel-wide (fading affects every receiver) and advances one step per
+// loss decision, all drawn from the medium's seeded RNG, so runs stay
+// deterministic. Mean bad-burst length is 1/badToGood decisions.
+func WithBurstLoss(lossGood, lossBad, goodToBad, badToGood float64) Option {
+	return func(m *Medium) {
+		m.burst = &burstState{
+			lossGood: lossGood, lossBad: lossBad,
+			goodToBad: goodToBad, badToGood: badToGood,
+		}
+	}
+}
+
+// WithDuplication makes each scheduled frame copy spawn a duplicate with
+// probability p (default 0), modelling MAC-layer retransmit races. The
+// duplicate takes its own loss draw and jitter.
+func WithDuplication(p float64) Option {
+	return func(m *Medium) { m.dupProb = p }
+}
+
+// WithReordering adds, with probability p per frame copy, an extra uniform
+// delay in [0, maxExtra) on top of the normal propagation and jitter —
+// enough to reorder frames sent close together (default off).
+func WithReordering(p float64, maxExtra time.Duration) Option {
+	return func(m *Medium) { m.reorderProb, m.reorderMax = p, maxExtra }
+}
+
+// burstState is the Gilbert–Elliott channel state.
+type burstState struct {
+	lossGood, lossBad    float64
+	goodToBad, badToGood float64
+	bad                  bool
+}
+
 // Medium is the shared wireless channel.
 type Medium struct {
-	sched     *sim.Scheduler
-	rng       *sim.RNG
-	txRange   float64
-	bitrate   float64
-	lossRate  float64
-	jitterMax time.Duration
+	sched       *sim.Scheduler
+	rng         *sim.RNG
+	txRange     float64
+	bitrate     float64
+	lossRate    float64
+	jitterMax   time.Duration
+	burst       *burstState
+	dupProb     float64
+	reorderProb float64
+	reorderMax  time.Duration
 
 	devices []*Interface
 	stats   Stats
@@ -188,6 +229,7 @@ func (i *Interface) Send(to wire.NodeID, payload []byte) bool {
 	src := i.loc.PositionAt(now)
 	txDelay := time.Duration(float64(len(payload)*8) / m.bitrate * float64(time.Second))
 	acked := to == wire.Broadcast
+	frame := Frame{From: from, To: to, Payload: payload}
 	for _, dev := range m.devices {
 		if dev == i || !dev.active(now) {
 			continue
@@ -199,28 +241,74 @@ func (i *Interface) Send(to wire.NodeID, payload []byte) bool {
 		if dist > m.txRange {
 			continue
 		}
-		if m.rng.Bool(m.lossRate) {
-			m.stats.count(&m.stats.LostFrames, payload, len(payload))
-			continue
+		if m.offerCopy(dev, frame, txDelay, dist) {
+			acked = true
 		}
-		acked = true
-		prop := time.Duration(dist / propagationSpeed * float64(time.Second))
-		delay := txDelay + prop + m.rng.Jitter(m.jitterMax)
-		dev := dev
-		frame := Frame{From: from, To: to, Payload: payload}
-		m.sched.After(delay, func() {
-			if !dev.active(m.sched.Now()) {
-				m.stats.count(&m.stats.LostFrames, payload, len(payload))
-				return
+		// Fault injection: a duplicate copy races the original with its own
+		// loss draw and jitter. The probability check short-circuits so an
+		// unconfigured medium draws exactly the same RNG sequence as before.
+		if m.dupProb > 0 && m.rng.Bool(m.dupProb) {
+			m.stats.count(&m.stats.DuplicatedFrames, payload, len(payload))
+			if m.offerCopy(dev, frame, txDelay, dist) {
+				acked = true
 			}
-			m.stats.count(&m.stats.DeliveredFrames, payload, len(payload))
-			dev.recv(frame)
-		})
+		}
 	}
 	if !acked {
 		m.stats.count(&m.stats.UnackedFrames, payload, len(payload))
 	}
 	return acked
+}
+
+// offerCopy accounts for and schedules one frame copy toward one in-range
+// receiver, reporting whether the copy survived the loss process at send
+// time. Every offered copy ends up exactly once in DeliveredFrames or
+// LostFrames (or is still in flight) — the conservation ledger
+// CheckConservation audits.
+func (m *Medium) offerCopy(dev *Interface, frame Frame, txDelay time.Duration, dist float64) bool {
+	payload := frame.Payload
+	m.stats.count(&m.stats.OfferedFrames, payload, len(payload))
+	if m.dropCopy() {
+		m.stats.count(&m.stats.LostFrames, payload, len(payload))
+		return false
+	}
+	prop := time.Duration(dist / propagationSpeed * float64(time.Second))
+	delay := txDelay + prop + m.rng.Jitter(m.jitterMax)
+	if m.reorderProb > 0 && m.rng.Bool(m.reorderProb) {
+		delay += m.rng.Jitter(m.reorderMax)
+	}
+	m.stats.InFlightFrames++
+	m.sched.After(delay, func() {
+		m.stats.InFlightFrames--
+		if !dev.active(m.sched.Now()) {
+			m.stats.count(&m.stats.LostFrames, payload, len(payload))
+			return
+		}
+		m.stats.count(&m.stats.DeliveredFrames, payload, len(payload))
+		dev.recv(frame)
+	})
+	return true
+}
+
+// dropCopy draws one loss decision: uniform by default, Gilbert–Elliott when
+// burst loss is configured.
+func (m *Medium) dropCopy() bool {
+	b := m.burst
+	if b == nil {
+		return m.rng.Bool(m.lossRate)
+	}
+	if b.bad {
+		if m.rng.Bool(b.badToGood) {
+			b.bad = false
+		}
+	} else if m.rng.Bool(b.goodToBad) {
+		b.bad = true
+	}
+	p := b.lossGood
+	if b.bad {
+		p = b.lossBad
+	}
+	return m.rng.Bool(p)
 }
 
 // Neighbors returns the pseudonyms of all active devices currently within
@@ -250,10 +338,30 @@ func (i *Interface) Neighbors() []wire.NodeID {
 // counter.
 type Stats struct {
 	SentFrames       Counter // transmissions initiated
+	OfferedFrames    Counter // per-receiver frame copies entering the loss process
 	DeliveredFrames  Counter // per-receiver successful deliveries
 	LostFrames       Counter // per-receiver losses (random loss or receiver gone)
+	DuplicatedFrames Counter // extra copies spawned by WithDuplication
 	SuppressedFrames Counter // sends attempted while the device was inactive
 	UnackedFrames    Counter // unicasts whose addressee was unreachable at send time
+
+	InFlightFrames uint64 // copies offered but not yet delivered or lost
+}
+
+// CheckConservation verifies the channel's packet ledger: every offered frame
+// copy is delivered, lost, or still in flight — in frames and in bytes.
+// A non-nil error means the medium (or a backbone sharing this ledger)
+// leaked or double-counted traffic.
+func (s Stats) CheckConservation() error {
+	if got := s.DeliveredFrames.Frames + s.LostFrames.Frames + s.InFlightFrames; got != s.OfferedFrames.Frames {
+		return fmt.Errorf("radio: frame ledger broken: offered %d != delivered %d + lost %d + in-flight %d",
+			s.OfferedFrames.Frames, s.DeliveredFrames.Frames, s.LostFrames.Frames, s.InFlightFrames)
+	}
+	if s.DeliveredFrames.Bytes+s.LostFrames.Bytes > s.OfferedFrames.Bytes {
+		return fmt.Errorf("radio: byte ledger broken: offered %d < delivered %d + lost %d",
+			s.OfferedFrames.Bytes, s.DeliveredFrames.Bytes, s.LostFrames.Bytes)
+	}
+	return nil
 }
 
 // Counter tallies frames and bytes, overall and per packet kind.
@@ -292,9 +400,12 @@ func (c Counter) clone() Counter {
 func (s Stats) clone() Stats {
 	return Stats{
 		SentFrames:       s.SentFrames.clone(),
+		OfferedFrames:    s.OfferedFrames.clone(),
 		DeliveredFrames:  s.DeliveredFrames.clone(),
 		LostFrames:       s.LostFrames.clone(),
+		DuplicatedFrames: s.DuplicatedFrames.clone(),
 		SuppressedFrames: s.SuppressedFrames.clone(),
 		UnackedFrames:    s.UnackedFrames.clone(),
+		InFlightFrames:   s.InFlightFrames,
 	}
 }

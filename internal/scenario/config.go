@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"blackdp/internal/core"
+	"blackdp/internal/fault"
 	"blackdp/internal/wire"
 )
 
@@ -64,6 +65,12 @@ type Config struct {
 
 	// Channel.
 	LossRate float64 // per-receiver frame loss probability
+
+	// Fault is the injected infrastructure fault schedule: head crashes,
+	// backbone link cuts, Gilbert–Elliott burst loss, duplication and
+	// reordering. The zero Plan injects nothing and leaves the run
+	// byte-identical to a fault-free build (the ablation baseline).
+	Fault fault.Plan
 
 	// Protocol.
 	Vehicle    core.VehicleConfig
@@ -177,5 +184,23 @@ func (c Config) Validate() error {
 	case c.ExtraAttackers < 0 || c.ExtraAttackers > c.Vehicles/4:
 		return fmt.Errorf("scenario: %d extra attackers for %d vehicles", c.ExtraAttackers, c.Vehicles)
 	}
-	return nil
+	return c.Fault.Validate(clusters)
+}
+
+// CrashPlan is a convenience constructor for the most common fault schedule:
+// the head of one cluster crashes at `at` and recovers at `recoverAt`
+// (0 = stays down for the rest of the run).
+func CrashPlan(cluster int, at, recoverAt time.Duration) fault.Plan {
+	return fault.Plan{HeadCrashes: []fault.HeadCrash{
+		{Cluster: cluster, At: at, RecoverAt: recoverAt},
+	}}
+}
+
+// BurstPlan is a convenience constructor for a Gilbert–Elliott burst-loss
+// channel: lossless good state, lossBad in the fading state, with the given
+// state-transition probabilities per loss decision.
+func BurstPlan(lossBad, goodToBad, badToGood float64) fault.Plan {
+	return fault.Plan{Burst: fault.BurstLoss{
+		LossBad: lossBad, GoodToBad: goodToBad, BadToGood: badToGood,
+	}}
 }

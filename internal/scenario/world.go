@@ -10,6 +10,7 @@ import (
 	"blackdp/internal/cluster"
 	"blackdp/internal/core"
 	"blackdp/internal/exp"
+	"blackdp/internal/fault"
 	"blackdp/internal/metrics"
 	"blackdp/internal/mobility"
 	"blackdp/internal/pki"
@@ -87,15 +88,25 @@ func Build(cfg Config) (*World, error) {
 	if cfg.Trace {
 		tracer = trace.NewRecorder(sched.Now, 0)
 	}
+	radioOpts := []radio.Option{radio.WithRange(cfg.TxRangeM), radio.WithLossRate(cfg.LossRate)}
+	if cfg.Fault.Burst.Enabled() {
+		b := cfg.Fault.Burst
+		radioOpts = append(radioOpts, radio.WithBurstLoss(b.LossGood, b.LossBad, b.GoodToBad, b.BadToGood))
+	}
+	if cfg.Fault.DuplicateProb > 0 {
+		radioOpts = append(radioOpts, radio.WithDuplication(cfg.Fault.DuplicateProb))
+	}
+	if cfg.Fault.ReorderProb > 0 {
+		radioOpts = append(radioOpts, radio.WithReordering(cfg.Fault.ReorderProb, cfg.Fault.ReorderMax))
+	}
 	env := core.Env{
-		Sched:   sched,
-		RNG:     rng.Split("core"),
-		Trust:   pki.NewTrustStore(),
-		Scheme:  scheme,
-		Dir:     cluster.NewDirectory(),
-		Highway: highway,
-		Medium: radio.NewMedium(sched, rng.Split("radio"),
-			radio.WithRange(cfg.TxRangeM), radio.WithLossRate(cfg.LossRate)),
+		Sched:    sched,
+		RNG:      rng.Split("core"),
+		Trust:    pki.NewTrustStore(),
+		Scheme:   scheme,
+		Dir:      cluster.NewDirectory(),
+		Highway:  highway,
+		Medium:   radio.NewMedium(sched, rng.Split("radio"), radioOpts...),
 		Backbone: radio.NewBackbone(sched, cfg.BackboneLatency),
 		Tracer:   tracer,
 		Tally:    core.NewTally(),
@@ -116,7 +127,26 @@ func Build(cfg Config) (*World, error) {
 	if err := w.buildPopulation(); err != nil {
 		return nil, err
 	}
+	// Timed faults go on the same deterministic event queue as everything
+	// else; channel impairments were already baked into the medium above.
+	fault.Schedule(sched, cfg.Fault, fault.Targets{
+		CrashHead:   func(c int) { w.Heads[wire.ClusterID(c)].Crash() },
+		RecoverHead: func(c int) { w.Heads[wire.ClusterID(c)].Recover() },
+		CutLink:     func(l int) { env.Backbone.CutLink(l) },
+		HealLink:    func(l int) { env.Backbone.HealLink(l) },
+	})
 	return w, nil
+}
+
+// CheckConservation audits the packet ledgers of both channels: every frame
+// copy offered to the radio medium or the backbone must end up delivered,
+// lost, or still in flight. Property and differential tests call it after a
+// run; a non-nil error means the simulation leaked or invented traffic.
+func (w *World) CheckConservation() error {
+	if err := w.Env.Medium.Stats().CheckConservation(); err != nil {
+		return err
+	}
+	return w.Env.Backbone.Stats().CheckConservation()
 }
 
 // buildInfrastructure creates the TAs and one head per cluster.
@@ -473,9 +503,15 @@ func (w *World) extractOutcome(status core.EstablishStatus, statusKnown bool, se
 	if statusKnown {
 		o.EstablishStatus = status.String()
 	}
-	air := w.Env.Medium.Stats().SentFrames
-	o.AirFrames = air.Frames
-	o.AirBytes = air.Bytes
+	air := w.Env.Medium.Stats()
+	o.AirFrames = air.SentFrames.Frames
+	o.AirBytes = air.SentFrames.Bytes
+	o.AirOffered = air.OfferedFrames.Frames
+	o.AirDelivered = air.DeliveredFrames.Frames
+	o.AirLost = air.LostFrames.Frames
+	o.AirDuplicated = air.DuplicatedFrames.Frames
+	o.DReqRetransmits = w.Source.Stats().DReqRetransmits
+	o.Failovers = w.Source.Stats().Failovers
 
 	if o.AttackerPresent {
 		o.AttackersPresent = 1 + len(w.Extras)

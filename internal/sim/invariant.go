@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// InvariantChecker observes a scheduler at runtime and records violations of
+// the engine's execution contract: the virtual clock never runs backwards,
+// and once Stop has been called no further event fires inside the same run
+// loop. Tests install one with NewInvariantChecker and assert Err() == nil
+// after driving the world; production runs pay nothing.
+type InvariantChecker struct {
+	last       time.Duration
+	fired      bool
+	stopped    bool
+	violations []string
+}
+
+// NewInvariantChecker installs a fresh checker on s, replacing any previous
+// observer.
+func NewInvariantChecker(s *Scheduler) *InvariantChecker {
+	c := &InvariantChecker{}
+	s.Observe(Observer{
+		RunStarted: func(at time.Duration) {
+			// A new run loop legitimately resumes after an earlier Stop.
+			c.stopped = false
+		},
+		EventFired: func(at time.Duration) {
+			if c.stopped {
+				c.record("event fired at %v after Stop", at)
+			}
+			if c.fired && at < c.last {
+				c.record("clock ran backwards: event at %v after event at %v", at, c.last)
+			}
+			c.last = at
+			c.fired = true
+		},
+		Stopped: func(at time.Duration) { c.stopped = true },
+	})
+	return c
+}
+
+func (c *InvariantChecker) record(format string, args ...any) {
+	if len(c.violations) < 16 { // keep the report readable on cascades
+		c.violations = append(c.violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// Violations returns every recorded violation in occurrence order.
+func (c *InvariantChecker) Violations() []string {
+	return append([]string(nil), c.violations...)
+}
+
+// Err returns nil when every invariant held, or one error naming all
+// violations.
+func (c *InvariantChecker) Err() error {
+	if len(c.violations) == 0 {
+		return nil
+	}
+	return fmt.Errorf("sim: %d invariant violation(s): %s",
+		len(c.violations), strings.Join(c.violations, "; "))
+}

@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestInvariantCheckerCleanRun(t *testing.T) {
+	s := NewScheduler()
+	c := NewInvariantChecker(s)
+	for i := 1; i <= 5; i++ {
+		i := i
+		s.After(time.Duration(i)*time.Second, func() {
+			if i == 3 {
+				s.After(100*time.Millisecond, func() {})
+			}
+		})
+	}
+	s.Run()
+	if err := c.Err(); err != nil {
+		t.Fatalf("clean run reported violations: %v", err)
+	}
+	if len(c.Violations()) != 0 {
+		t.Errorf("Violations() = %v, want empty", c.Violations())
+	}
+}
+
+func TestInvariantCheckerStopThenResume(t *testing.T) {
+	s := NewScheduler()
+	c := NewInvariantChecker(s)
+	s.After(time.Second, func() { s.Stop() })
+	s.After(2*time.Second, func() {})
+	s.Run()
+	// The second event legitimately fires in a later run loop; RunStarted
+	// must clear the stop latch.
+	s.Run()
+	if err := c.Err(); err != nil {
+		t.Fatalf("stop + resume reported violations: %v", err)
+	}
+}
+
+// The scheduler itself never produces these violations, so the negative
+// tests drive the checker's observer callbacks directly — proving the
+// checker would catch an engine regression rather than vacuously passing.
+func TestInvariantCheckerCatchesPostStopEvent(t *testing.T) {
+	s := NewScheduler()
+	c := NewInvariantChecker(s)
+	s.obs.Stopped(time.Second)
+	s.obs.EventFired(2 * time.Second)
+	if err := c.Err(); err == nil || !strings.Contains(err.Error(), "after Stop") {
+		t.Fatalf("Err() = %v, want post-stop violation", err)
+	}
+}
+
+func TestInvariantCheckerCatchesBackwardsClock(t *testing.T) {
+	s := NewScheduler()
+	c := NewInvariantChecker(s)
+	s.obs.EventFired(5 * time.Second)
+	s.obs.EventFired(3 * time.Second)
+	if err := c.Err(); err == nil || !strings.Contains(err.Error(), "backwards") {
+		t.Fatalf("Err() = %v, want backwards-clock violation", err)
+	}
+}
+
+func TestInvariantCheckerViolationCap(t *testing.T) {
+	s := NewScheduler()
+	c := NewInvariantChecker(s)
+	s.obs.Stopped(0)
+	for i := 0; i < 100; i++ {
+		s.obs.EventFired(time.Duration(i))
+	}
+	if n := len(c.Violations()); n > 16 {
+		t.Errorf("checker recorded %d violations, cap is 16", n)
+	}
+}

@@ -52,6 +52,18 @@ func (t *Timer) Active() bool {
 	return t != nil && t.ev != nil && t.ev.index >= 0
 }
 
+// Observer receives scheduler lifecycle callbacks. It exists for runtime
+// invariant checking in tests (see InvariantChecker); nil fields are skipped,
+// and an absent observer costs one nil check per event.
+type Observer struct {
+	// RunStarted fires when Run/RunUntil/RunFor begins a run loop.
+	RunStarted func(at time.Duration)
+	// EventFired fires as each event is popped, before its callback runs.
+	EventFired func(at time.Duration)
+	// Stopped fires when Stop is called from inside an event.
+	Stopped func(at time.Duration)
+}
+
 // Scheduler is a discrete-event scheduler. The zero value is ready to use,
 // with the clock at zero.
 type Scheduler struct {
@@ -62,6 +74,7 @@ type Scheduler struct {
 	running   bool
 	stopped   bool
 	idleHooks []func()
+	obs       Observer
 }
 
 // NewScheduler returns an empty scheduler with the clock at zero.
@@ -99,7 +112,15 @@ func (s *Scheduler) After(d time.Duration, fn func()) *Timer {
 
 // Stop makes the current Run/RunUntil/RunFor call return after the event in
 // progress completes. It may only be called from inside an event callback.
-func (s *Scheduler) Stop() { s.stopped = true }
+func (s *Scheduler) Stop() {
+	s.stopped = true
+	if s.obs.Stopped != nil {
+		s.obs.Stopped(s.now)
+	}
+}
+
+// Observe installs a lifecycle observer (replacing any previous one).
+func (s *Scheduler) Observe(o Observer) { s.obs = o }
 
 // OnIdle registers fn to run when the event queue drains while Run is
 // active. Hooks may schedule new events; they run in registration order each
@@ -123,6 +144,9 @@ func (s *Scheduler) Step() bool {
 	}
 	s.now = ev.time
 	s.executed++
+	if s.obs.EventFired != nil {
+		s.obs.EventFired(ev.time)
+	}
 	ev.fn()
 	return true
 }
@@ -144,6 +168,9 @@ func (s *Scheduler) RunUntil(deadline time.Duration) {
 	}
 	s.running = true
 	s.stopped = false
+	if s.obs.RunStarted != nil {
+		s.obs.RunStarted(s.now)
+	}
 	defer func() { s.running = false }()
 
 	for !s.stopped {

@@ -345,13 +345,14 @@ func decodeData(b []byte) (*Data, error) {
 
 // MarshalBinary implements Packet.
 func (p *JoinReq) MarshalBinary() ([]byte, error) {
-	w := newWriter(KindJoinReq, 34)
+	w := newWriter(KindJoinReq, 35)
 	w.u64(uint64(p.Vehicle))
 	w.f64(p.PosX)
 	w.f64(p.PosY)
 	w.f64(p.SpeedMS)
 	w.boolean(p.Eastbound)
 	w.boolean(p.Overlapped)
+	w.boolean(p.Failover)
 	return w.buf, nil
 }
 
@@ -364,6 +365,7 @@ func decodeJoinReq(b []byte) (*JoinReq, error) {
 		SpeedMS:    r.f64(),
 		Eastbound:  r.boolean(),
 		Overlapped: r.boolean(),
+		Failover:   r.boolean(),
 	}
 	return p, r.finish()
 }
@@ -406,7 +408,7 @@ func decodeLeave(b []byte) (*Leave, error) {
 
 // MarshalBinary implements Packet.
 func (p *DetectReq) MarshalBinary() ([]byte, error) {
-	w := newWriter(KindDetectReq, 40)
+	w := newWriter(KindDetectReq, 50)
 	w.u64(uint64(p.Reporter))
 	w.u16(uint16(p.ReporterCluster))
 	w.u64(uint64(p.Suspect))
@@ -415,6 +417,7 @@ func (p *DetectReq) MarshalBinary() ([]byte, error) {
 	w.u64(uint64(p.FakeDest))
 	w.u32(uint32(p.PriorSeq))
 	w.u8(p.Forwards)
+	w.u64(p.Nonce)
 	return w.buf, nil
 }
 
@@ -429,6 +432,7 @@ func decodeDetectReq(b []byte) (*DetectReq, error) {
 		FakeDest:        NodeID(r.u64()),
 		PriorSeq:        SeqNum(r.u32()),
 		Forwards:        r.u8(),
+		Nonce:           r.u64(),
 	}
 	return p, r.finish()
 }

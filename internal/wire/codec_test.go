@@ -18,10 +18,10 @@ func samplePackets() []Packet {
 		&RERR{Reporter: 5, Unreachable: []UnreachableDest{{Node: 42, Seq: 8}, {Node: 43, Seq: 9}}},
 		&Hello{Origin: 1, Dest: 7, Nonce: 0xdeadbeef, Reply: true, Hops: 3},
 		&Data{Origin: 1, Dest: 7, SeqNo: 12, Payload: []byte("road closed ahead")},
-		&JoinReq{Vehicle: 21, PosX: 1234.5, PosY: 60.25, SpeedMS: 22.2, Eastbound: true, Overlapped: true},
+		&JoinReq{Vehicle: 21, PosX: 1234.5, PosY: 60.25, SpeedMS: 22.2, Eastbound: true, Overlapped: true, Failover: true},
 		&JoinRep{Head: 1001, Cluster: 3, Vehicle: 21},
 		&Leave{Vehicle: 21, Cluster: 3},
-		&DetectReq{Reporter: 21, ReporterCluster: 1, Suspect: 66, SuspectCluster: 2, SuspectSerial: 777, FakeDest: 50, PriorSeq: 250, Forwards: 1},
+		&DetectReq{Reporter: 21, ReporterCluster: 1, Suspect: 66, SuspectCluster: 2, SuspectSerial: 777, FakeDest: 50, PriorSeq: 250, Forwards: 1, Nonce: 0x1122334455667788},
 		&DetectResp{Reporter: 21, Suspect: 66, Verdict: VerdictMalicious, Teammate: 67},
 		&RevocationReq{Head: 1002, Suspect: 66, CertSerial: 555, Cluster: 2},
 		&RevocationNotice{Authority: 1, Revoked: RevokedCert{Node: 66, CertSerial: 555, Expiry: time.Hour}},
@@ -238,11 +238,12 @@ func TestJoinReqRoundTripProperty(t *testing.T) {
 }
 
 func TestDetectReqRoundTripProperty(t *testing.T) {
-	prop := func(rep, sus uint64, rc, sc uint16, serial uint64, fake uint64, prior uint32, fwd uint8) bool {
+	prop := func(rep, sus uint64, rc, sc uint16, serial uint64, fake uint64, prior uint32, fwd uint8, nonce uint64) bool {
 		p := &DetectReq{
 			Reporter: NodeID(rep), ReporterCluster: ClusterID(rc),
 			Suspect: NodeID(sus), SuspectCluster: ClusterID(sc),
 			SuspectSerial: serial, FakeDest: NodeID(fake), PriorSeq: SeqNum(prior), Forwards: fwd,
+			Nonce: nonce,
 		}
 		b, err := p.MarshalBinary()
 		if err != nil {
@@ -277,8 +278,9 @@ func TestSize(t *testing.T) {
 			t.Errorf("%v: Size = %d, want %d", p.Kind(), got, len(b))
 		}
 	}
-	// The d_req the paper describes is a small control packet.
-	if s := Size(&DetectReq{}); s > 48 {
+	// The d_req the paper describes is a small control packet (the 8-byte
+	// retransmission nonce is the one field this reproduction adds).
+	if s := Size(&DetectReq{}); s > 56 {
 		t.Errorf("DetectReq size = %d bytes, expected a compact packet", s)
 	}
 }

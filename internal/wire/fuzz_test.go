@@ -37,6 +37,28 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte{0xff, 0xff, 0xff})
 	f.Add(bytes.Repeat([]byte{0x41}, 64))
 
+	// Extra seeds for the detection and revocation packets, biased toward
+	// the retransmission-nonce field: extreme values, the zero nonce
+	// (non-retransmitting reporter), and a pre-nonce-length DetectReq —
+	// old-format bytes must be rejected, not misparsed.
+	for _, p := range []Packet{
+		&DetectReq{Reporter: 1, Suspect: 2, Nonce: ^uint64(0)},
+		&DetectReq{Reporter: 1, Suspect: 2, Forwards: 255, Nonce: 0},
+		&DetectResp{Reporter: 3, Suspect: 4, Verdict: VerdictUnreachable},
+		&DetectResp{Reporter: 3, Suspect: 4, Verdict: Verdict(255), Teammate: 5},
+		&RevocationReq{Head: 6, Suspect: 7, CertSerial: ^uint64(0), Cluster: 65535},
+		&RevocationNotice{Authority: 255, Revoked: RevokedCert{Node: 8, CertSerial: 9}},
+	} {
+		b, err := p.MarshalBinary()
+		if err != nil {
+			f.Fatalf("%v: MarshalBinary: %v", p.Kind(), err)
+		}
+		f.Add(b)
+	}
+	if full, err := (&DetectReq{Reporter: 1, Suspect: 2, Nonce: 1}).MarshalBinary(); err == nil {
+		f.Add(full[:len(full)-8]) // the PR-2-era encoding, sans nonce
+	}
+
 	f.Fuzz(func(t *testing.T, b []byte) {
 		p, err := Decode(b) // must not panic, whatever b holds
 		if err != nil {

@@ -185,6 +185,11 @@ type JoinReq struct {
 	SpeedMS    float64 // metres/second
 	Eastbound  bool
 	Overlapped bool
+	// Failover marks a join from a vehicle whose own cluster head stopped
+	// answering: heads of adjacent clusters may admit it even though its
+	// reported position lies outside their segment, so detection keeps
+	// working while the home RSU is down.
+	Failover bool
 }
 
 // Kind implements Packet.
@@ -227,6 +232,11 @@ type DetectReq struct {
 	FakeDest        NodeID // probe destination already in use; 0 when not yet probed
 	PriorSeq        SeqNum // sequence number from the suspect's first probe reply; 0 none
 	Forwards        uint8  // times this d_req has been handed between heads (loop bound)
+	// Nonce identifies one report across retransmissions: the reporter
+	// draws it once and reuses it on every resend, so a head can tell a
+	// lost-verdict retransmission (re-answer from cache) from a genuinely
+	// new report (re-examine). 0 means the reporter does not retransmit.
+	Nonce uint64
 }
 
 // Kind implements Packet.
