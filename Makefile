@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test race bench serve
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Service-path benchmarks; refreshes the committed BENCH_serve.json baseline.
+bench:
+	sh scripts/bench.sh
+
+serve: build
+	$(GO) run ./cmd/blackdp-serve

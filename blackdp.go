@@ -49,6 +49,9 @@ type (
 	Outcome = metrics.Outcome
 	// Summary aggregates outcomes into the paper's rates.
 	Summary = metrics.Summary
+	// Report is the flat JSON projection of a Summary, as emitted by the
+	// blackdp-serve result stream.
+	Report = metrics.Report
 	// Fig4Point is one attacker-cluster bar of Figure 4.
 	Fig4Point = scenario.Fig4Point
 	// Fig5Category enumerates Figure 5's scenario classes.
@@ -100,6 +103,22 @@ func DefaultConfig() Config { return scenario.DefaultConfig() }
 
 // Run executes one simulation and returns its outcome.
 func Run(cfg Config) (Outcome, error) { return scenario.Run(cfg) }
+
+// RunContext is Run with cancellation: the context is checked between
+// scheduler slices, so a canceled run stops within one simulated slice.
+func RunContext(ctx context.Context, cfg Config) (Outcome, error) {
+	return scenario.RunContext(ctx, cfg)
+}
+
+// Canonical returns the deterministic serialized form of a config:
+// defaults applied, evasive clusters normalized to a sorted set, trace
+// retention (which cannot affect outcomes) excluded. Two configs with the
+// same canonical bytes produce byte-identical outcomes.
+func Canonical(cfg Config) ([]byte, error) { return scenario.Canonical(cfg) }
+
+// Fingerprint is the hex SHA-256 of Canonical(cfg) — the key under which
+// blackdp-serve caches results.
+func Fingerprint(cfg Config) (string, error) { return scenario.Fingerprint(cfg) }
 
 // CrashPlan builds the most common fault schedule: one head crash with an
 // optional recovery (recoverAt = 0 keeps it down for the rest of the run).

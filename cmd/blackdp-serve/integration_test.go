@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestIntegrationServeSoak exercises the real binary end to end: build it,
+// start it on an ephemeral port, fire 20 concurrent overlapping requests
+// (several identical, so the cache and single-flight paths are hot), then
+// SIGTERM it and require a clean drain. Run under -race in CI.
+func TestIntegrationServeSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test builds and runs the binary")
+	}
+	bin := filepath.Join(t.TempDir(), "blackdp-serve")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "4")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The first stdout line announces the resolved address.
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("no startup line: %v", sc.Err())
+	}
+	first := sc.Text()
+	addr := first[strings.LastIndex(first, " ")+1:]
+	base := "http://" + addr
+
+	// Drain the rest of stdout in the background so the process never
+	// blocks on a full pipe, keeping the drain-phase lines for later.
+	var outMu sync.Mutex
+	var rest []string
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for sc.Scan() {
+			outMu.Lock()
+			rest = append(rest, sc.Text())
+			outMu.Unlock()
+		}
+	}()
+
+	const clients = 20
+	// Four distinct configurations, five clients each: every configuration
+	// is computed at most once and the other four responses must come out
+	// of the cache (as completed hits or coalesced joins) byte-identical.
+	body := func(i int) string {
+		return fmt.Sprintf(`{"kind":"run","config":{"Seed":%d,"HighwayLengthM":4000,"Vehicles":30,"AttackerCluster":2,"DataPackets":5,"MaxSimTime":45000000000,"RealCrypto":false}}`, i%4)
+	}
+	payloads := make([]string, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(base+"/jobs", "application/json", strings.NewReader(body(i)))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			b, err := io.ReadAll(resp.Body)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if resp.StatusCode != 200 {
+				errs[i] = fmt.Errorf("status %d: %s", resp.StatusCode, b)
+				return
+			}
+			lines := strings.Split(strings.TrimRight(string(b), "\n"), "\n")
+			payloads[i] = lines[len(lines)-1]
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	for i := 0; i < clients; i++ {
+		if payloads[i] == "" || !strings.HasPrefix(payloads[i], "{") {
+			t.Fatalf("client %d: no result payload", i)
+		}
+		if j := i % 4; payloads[i] != payloads[j] {
+			t.Errorf("clients %d and %d posted identical configs but saw different bytes", i, j)
+		}
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsOut, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var hits, misses float64
+	for _, line := range strings.Split(string(metricsOut), "\n") {
+		if _, err := fmt.Sscanf(line, "blackdp_serve_cache_hits_total %g", &hits); err == nil {
+			continue
+		}
+		_, _ = fmt.Sscanf(line, "blackdp_serve_cache_misses_total %g", &misses)
+	}
+	if hits <= 0 {
+		t.Errorf("cache hits = %g, want > 0\n%s", hits, metricsOut)
+	}
+	if misses != 4 {
+		t.Errorf("cache misses = %g, want 4 (one per distinct config)\n%s", misses, metricsOut)
+	}
+
+	// Graceful drain: SIGTERM, then the process must refuse new work,
+	// report its cache statistics and exit zero.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for stdout EOF (the process closing its end on exit) before
+	// cmd.Wait: Wait closes the pipe and would race the scanner goroutine.
+	select {
+	case <-drained:
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not drain within 30s of SIGTERM")
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("server exited uncleanly: %v", err)
+	}
+	outMu.Lock()
+	tail := strings.Join(rest, "\n")
+	outMu.Unlock()
+	if !strings.Contains(tail, "cache:") || !strings.Contains(tail, "drained cleanly") {
+		t.Errorf("drain log incomplete:\n%s", tail)
+	}
+}

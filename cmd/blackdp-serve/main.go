@@ -1,0 +1,92 @@
+// Command blackdp-serve exposes the simulator as a long-running HTTP
+// service: POST simulation or sweep jobs as JSON, watch per-replication
+// progress stream back as NDJSON, and read aggregate service health from
+// a Prometheus-style /metrics endpoint. Identical configurations are
+// answered from a canonical-fingerprint result cache.
+//
+//	blackdp-serve -addr :8080
+//	curl -sN localhost:8080/jobs -d '{"kind":"sweep","reps":20,"config":{"AttackerCluster":4}}'
+//	curl -s  localhost:8080/metrics
+//
+// On SIGTERM or SIGINT the server drains: new jobs are refused with 503
+// while in-flight jobs run to completion, then the cache statistics are
+// logged and the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"blackdp/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "blackdp-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+		workers = flag.Int("workers", 0, "concurrent jobs (0 = default)")
+		queue   = flag.Int("queue", 0, "queued jobs beyond the running set (0 = default, negative = none)")
+		cache   = flag.Int("cache", 0, "result cache entries (0 = default)")
+		pool    = flag.Int("sweep-workers", 0, "per-sweep replication pool size (0 = one per CPU)")
+		maxReps = flag.Int("max-reps", 0, "largest accepted sweep (0 = default)")
+		grace   = flag.Duration("grace", 30*time.Second, "drain deadline after SIGTERM")
+	)
+	flag.Parse()
+
+	s := serve.New(serve.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *cache,
+		SweepWorkers: *pool,
+		MaxReps:      *maxReps,
+	})
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// The resolved address line is the startup handshake: supervisors (and
+	// the integration test) parse it to learn the ephemeral port.
+	fmt.Printf("blackdp-serve listening on %s\n", l.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- s.Serve(l) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("blackdp-serve draining: refusing new jobs, finishing in-flight")
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	stats, err := s.Drain(drainCtx)
+	fmt.Printf("blackdp-serve cache: %d hits, %d coalesced, %d misses, %d entries retained\n",
+		stats.Hits, stats.Joins, stats.Misses, stats.Entries)
+	if err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if serr := <-errc; serr != nil && !errors.Is(serr, http.ErrServerClosed) {
+		return serr
+	}
+	fmt.Println("blackdp-serve drained cleanly")
+	return nil
+}

@@ -30,8 +30,9 @@ func main() {
 		loss     = flag.Float64("loss", 0, "per-receiver frame loss probability")
 		evasive  = flag.Bool("evasive", false, "enable evasive attacker behaviour in clusters 8-10")
 		crypto   = flag.Bool("crypto", true, "real ECDSA signatures (false = free placeholder)")
-		confPath = flag.String("config", "", "JSON config file (flags override its values)")
-		jsonOut  = flag.Bool("json", false, "emit the outcome as JSON instead of prose")
+		confPath  = flag.String("config", "", "JSON config file (flags override its values)")
+		jsonOut   = flag.Bool("json", false, "emit the outcome as JSON instead of prose")
+		tracePath = flag.String("trace", "", "write the structured event log to this file (enables tracing)")
 	)
 	flag.Parse()
 
@@ -89,7 +90,15 @@ func main() {
 	}
 
 	start := time.Now()
-	o, err := blackdp.Run(cfg)
+	var (
+		o   blackdp.Outcome
+		err error
+	)
+	if *tracePath == "" {
+		o, err = blackdp.Run(cfg)
+	} else {
+		o, err = runTraced(cfg, *tracePath)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "blackdp-sim:", err)
 		os.Exit(1)
@@ -146,4 +155,30 @@ func main() {
 			o.DataDelivered, o.DataSent, 100*float64(o.DataDelivered)/float64(o.DataSent))
 	}
 	fmt.Printf("simulated:  %v in %v wall clock\n", o.Duration, time.Since(start).Round(time.Millisecond))
+	if *tracePath != "" {
+		fmt.Printf("trace:      event log written to %s\n", *tracePath)
+	}
+}
+
+// runTraced runs the simulation with event recording on and dumps the
+// retained log to path.
+func runTraced(cfg blackdp.Config, path string) (blackdp.Outcome, error) {
+	cfg.Trace = true
+	w, err := blackdp.Build(cfg)
+	if err != nil {
+		return blackdp.Outcome{}, err
+	}
+	o := w.Run()
+	f, err := os.Create(path)
+	if err != nil {
+		return blackdp.Outcome{}, err
+	}
+	if err := w.Env.Tracer.Snapshot().Dump(f); err != nil {
+		f.Close()
+		return blackdp.Outcome{}, fmt.Errorf("writing trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return blackdp.Outcome{}, err
+	}
+	return o, nil
 }

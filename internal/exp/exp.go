@@ -71,6 +71,13 @@ type Options struct {
 	// with the number done so far and the total. Calls are serialised but,
 	// with more than one worker, not in replication order.
 	Progress func(done, total int)
+	// OnRep, when non-nil, is called after each replication completes with
+	// its index and error (nil on success), immediately before Progress.
+	// Calls are serialised under the same lock as Progress, so streaming
+	// consumers (e.g. NDJSON progress writers) need no synchronisation of
+	// their own; a blocking OnRep stalls the whole pool, so buffer if the
+	// sink is slow.
+	OnRep func(rep int, err error)
 }
 
 // Map runs fn for every replication 0..reps-1 and returns the results in
@@ -101,6 +108,9 @@ func Map[T any](ctx context.Context, reps int, opt Options, fn func(ctx context.
 				return nil, err
 			}
 			out, err := runRep(ctx, rep, opt, fn)
+			if opt.OnRep != nil {
+				opt.OnRep(rep, err)
+			}
 			if err != nil {
 				return nil, err
 			}
@@ -134,6 +144,9 @@ func Map[T any](ctx context.Context, reps int, opt Options, fn func(ctx context.
 				}
 				out, err := runRep(ctx, rep, opt, fn)
 				mu.Lock()
+				if opt.OnRep != nil {
+					opt.OnRep(rep, err) // under mu: serialised with Progress
+				}
 				if err != nil {
 					// Keep the lowest-indexed failure so the reported
 					// error matches the serial loop's. Later replications

@@ -195,6 +195,48 @@ func TestMapProgress(t *testing.T) {
 	}
 }
 
+func TestMapOnRepSeesEveryReplicationOnce(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		seen := map[int]int{}   // rep -> calls; OnRep is serialised, no lock
+		failures := map[int]bool{}
+		_, err := Map(context.Background(), 24, Options{
+			Workers: workers,
+			OnRep: func(rep int, err error) {
+				seen[rep]++
+				if err != nil {
+					failures[rep] = true
+				}
+			},
+		}, func(_ context.Context, rep int) (int, error) {
+			if rep == 5 {
+				return 0, errors.New("rep 5 failed")
+			}
+			return rep, nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: expected the rep 5 failure", workers)
+		}
+		if workers == 1 {
+			// The serial path stops at the first failure, after reporting it.
+			if len(seen) != 6 || !failures[5] {
+				t.Fatalf("workers=1: OnRep saw reps %v (failures %v), want 0..5 with 5 failed", seen, failures)
+			}
+			continue
+		}
+		if len(seen) != 24 {
+			t.Fatalf("workers=%d: OnRep saw %d reps, want 24", workers, len(seen))
+		}
+		for rep, n := range seen {
+			if n != 1 {
+				t.Fatalf("workers=%d: OnRep saw rep %d %d times", workers, rep, n)
+			}
+		}
+		if len(failures) != 1 || !failures[5] {
+			t.Fatalf("workers=%d: OnRep failures %v, want exactly rep 5", workers, failures)
+		}
+	}
+}
+
 func TestSeedIsOrderIndependentAndLabelled(t *testing.T) {
 	if Seed(1, "fig4", 42) != Seed(1, "fig4", 42) {
 		t.Error("Seed is not a pure function")

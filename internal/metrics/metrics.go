@@ -246,6 +246,57 @@ func (s Summary) MeanLatency() time.Duration {
 	return sum / time.Duration(len(s.Latencies))
 }
 
+// Report is the JSON-friendly projection of a Summary: the confusion matrix
+// plus every derived rate, computed once with the division-by-zero guards
+// applied (a rate whose denominator is zero reports 0). The serve subsystem
+// embeds it in job results so clients get the paper's rates without
+// re-deriving them; durations serialise as nanoseconds, like Config.
+type Report struct {
+	Runs int `json:"runs"`
+	TP   int `json:"tp"`
+	FN   int `json:"fn"`
+	FP   int `json:"fp"`
+	TN   int `json:"tn"`
+
+	Accuracy      float64 `json:"accuracy"`
+	TPRate        float64 `json:"tp_rate"`
+	FNRate        float64 `json:"fn_rate"`
+	FPRate        float64 `json:"fp_rate"`
+	DeliveryRatio float64 `json:"delivery_ratio"`
+
+	PreventedOnly int `json:"prevented_only"`
+
+	DetectionPacketsMin  int     `json:"detection_packets_min"`
+	DetectionPacketsMean float64 `json:"detection_packets_mean"`
+	DetectionPacketsMax  int     `json:"detection_packets_max"`
+
+	MeanLatency time.Duration `json:"mean_latency"`
+	P95Latency  time.Duration `json:"p95_latency"`
+}
+
+// Report projects the summary into its flattened form.
+func (s Summary) Report() Report {
+	min, mean, max := s.PacketStats()
+	return Report{
+		Runs:                 s.Runs,
+		TP:                   s.TP,
+		FN:                   s.FN,
+		FP:                   s.FP,
+		TN:                   s.TN,
+		Accuracy:             s.Accuracy(),
+		TPRate:               s.TPRate(),
+		FNRate:               s.FNRate(),
+		FPRate:               s.FPRate(),
+		DeliveryRatio:        s.DeliveryRatio(),
+		PreventedOnly:        s.PreventedOnly,
+		DetectionPacketsMin:  min,
+		DetectionPacketsMean: mean,
+		DetectionPacketsMax:  max,
+		MeanLatency:          s.MeanLatency(),
+		P95Latency:           s.LatencyPercentile(95),
+	}
+}
+
 func (s Summary) String() string {
 	return fmt.Sprintf("runs=%d acc=%.1f%% tp=%.1f%% fn=%.1f%% fp=%.1f%%",
 		s.Runs, 100*s.Accuracy(), 100*s.TPRate(), 100*s.FNRate(), 100*s.FPRate())

@@ -29,6 +29,100 @@ func TestClassify(t *testing.T) {
 	}
 }
 
+// An empty outcome set must aggregate to all-zero rates, not NaN or panic:
+// every rate has a zero denominator here.
+func TestAggregateEmpty(t *testing.T) {
+	s := Aggregate(nil)
+	if s.Runs != 0 {
+		t.Fatalf("Runs = %d", s.Runs)
+	}
+	for name, got := range map[string]float64{
+		"Accuracy":      s.Accuracy(),
+		"TPRate":        s.TPRate(),
+		"FNRate":        s.FNRate(),
+		"FPRate":        s.FPRate(),
+		"DeliveryRatio": s.DeliveryRatio(),
+	} {
+		if got != 0 {
+			t.Errorf("%s on empty summary = %v, want 0", name, got)
+		}
+	}
+	if min, mean, max := s.PacketStats(); min != 0 || mean != 0 || max != 0 {
+		t.Errorf("PacketStats on empty summary = %d %v %d", min, mean, max)
+	}
+	if s.MeanLatency() != 0 || s.LatencyPercentile(95) != 0 || s.PacketPercentile(50) != 0 {
+		t.Error("latency/percentile on empty summary not 0")
+	}
+	r := s.Report()
+	if r != (Report{}) {
+		t.Errorf("Report of empty summary = %+v, want zero value", r)
+	}
+}
+
+// Runs with no attacker at all: TP+FN is zero, so TPRate and FNRate divide
+// by zero and must report 0 while accuracy counts the true negatives.
+func TestAggregateNoAttackerOnly(t *testing.T) {
+	outcomes := []Outcome{
+		{AttackerPresent: false, DataSent: 10, DataDelivered: 10},
+		{AttackerPresent: false},
+		{AttackerPresent: false, FalseAccusations: 1},
+	}
+	s := Aggregate(outcomes)
+	if s.TP != 0 || s.FN != 0 || s.TN != 2 || s.FP != 1 {
+		t.Fatalf("confusion matrix = tp%d fn%d fp%d tn%d", s.TP, s.FN, s.FP, s.TN)
+	}
+	if got := s.TPRate(); got != 0 {
+		t.Errorf("TPRate with no attackers = %v, want 0 (guarded)", got)
+	}
+	if got := s.FNRate(); got != 0 {
+		t.Errorf("FNRate with no attackers = %v, want 0 (guarded)", got)
+	}
+	if got := s.Accuracy(); got != 2.0/3.0 {
+		t.Errorf("Accuracy = %v, want 2/3", got)
+	}
+	if got := s.FPRate(); got != 1.0/3.0 {
+		t.Errorf("FPRate = %v, want 1/3", got)
+	}
+	r := s.Report()
+	if r.TPRate != 0 || r.FNRate != 0 || r.Accuracy != s.Accuracy() {
+		t.Errorf("Report diverges from Summary: %+v", r)
+	}
+}
+
+// DeliveryRatio with zero data sent (e.g. establishment never succeeded)
+// must not divide by zero.
+func TestDeliveryRatioNoTraffic(t *testing.T) {
+	s := Aggregate([]Outcome{{AttackerPresent: true}})
+	if got := s.DeliveryRatio(); got != 0 {
+		t.Errorf("DeliveryRatio with no traffic = %v, want 0", got)
+	}
+}
+
+// Report must carry every derived statistic of a populated summary.
+func TestReportMatchesSummary(t *testing.T) {
+	s := Aggregate([]Outcome{
+		{AttackerPresent: true, Detected: true, DetectionPackets: 6,
+			DetectionLatency: time.Second, DataSent: 10, DataDelivered: 9},
+		{AttackerPresent: true, DetectionPackets: 8, Prevented: true},
+	})
+	r := s.Report()
+	if r.Runs != 2 || r.TP != 1 || r.FN != 1 {
+		t.Fatalf("Report matrix = %+v", r)
+	}
+	if r.DetectionPacketsMin != 6 || r.DetectionPacketsMean != 7 || r.DetectionPacketsMax != 8 {
+		t.Errorf("packet stats = %d %v %d", r.DetectionPacketsMin, r.DetectionPacketsMean, r.DetectionPacketsMax)
+	}
+	if r.MeanLatency != time.Second || r.P95Latency != time.Second {
+		t.Errorf("latencies = %v %v", r.MeanLatency, r.P95Latency)
+	}
+	if r.PreventedOnly != 1 {
+		t.Errorf("PreventedOnly = %d", r.PreventedOnly)
+	}
+	if r.DeliveryRatio != 0.9 {
+		t.Errorf("DeliveryRatio = %v", r.DeliveryRatio)
+	}
+}
+
 func TestAggregateRates(t *testing.T) {
 	outcomes := []Outcome{
 		{AttackerPresent: true, Detected: true, DetectionPackets: 6, DetectionLatency: time.Second},

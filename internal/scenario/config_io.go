@@ -16,9 +16,20 @@ func LoadConfig(path string) (Config, error) {
 	if err != nil {
 		return Config{}, fmt.Errorf("scenario: reading config: %w", err)
 	}
+	cfg, err := DecodeConfig(b)
+	if err != nil {
+		return Config{}, fmt.Errorf("scenario: %s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// DecodeConfig parses a JSON config document, layering it over DefaultConfig
+// exactly as LoadConfig does for files. The serve subsystem decodes request
+// bodies through it so a job payload and a config file mean the same thing.
+func DecodeConfig(b []byte) (Config, error) {
 	cfg := DefaultConfig()
 	if err := json.Unmarshal(b, &cfg); err != nil {
-		return Config{}, fmt.Errorf("scenario: parsing %s: %w", path, err)
+		return Config{}, fmt.Errorf("parsing config: %w", err)
 	}
 	if err := cfg.Validate(); err != nil {
 		return Config{}, err

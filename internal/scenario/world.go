@@ -406,6 +406,16 @@ func (w *World) arm(v *core.VehicleAgent, profile attack.Profile) *attack.Blackh
 
 // Run executes the workload and extracts the outcome.
 func (w *World) Run() metrics.Outcome {
+	o, _ := w.RunContext(context.Background())
+	return o
+}
+
+// RunContext is Run with cooperative cancellation: between simulated slices
+// it checks ctx and, once cancelled, abandons the run and returns ctx.Err().
+// A background context reproduces Run exactly — the checks never touch the
+// scheduler or the RNG, so cancellation-capable and plain runs stay
+// byte-identical (the differential suite holds this).
+func (w *World) RunContext(ctx context.Context) (metrics.Outcome, error) {
 	const (
 		establishAt = 1500 * time.Millisecond
 		dataGap     = 100 * time.Millisecond
@@ -478,6 +488,9 @@ func (w *World) Run() metrics.Outcome {
 	// for isolation traffic) or at the hard limit.
 	var doneAt time.Duration
 	for w.Sched.Now() < w.Cfg.MaxSimTime {
+		if err := ctx.Err(); err != nil {
+			return metrics.Outcome{}, err
+		}
 		w.Sched.RunFor(500 * time.Millisecond)
 		if workDone && doneAt == 0 {
 			doneAt = w.Sched.Now()
@@ -487,7 +500,7 @@ func (w *World) Run() metrics.Outcome {
 		}
 	}
 
-	return w.extractOutcome(finalStatus, statusKnown, dataSent, dataDelivered)
+	return w.extractOutcome(finalStatus, statusKnown, dataSent, dataDelivered), nil
 }
 
 func (w *World) extractOutcome(status core.EstablishStatus, statusKnown bool, sent, delivered int) metrics.Outcome {
@@ -573,11 +586,16 @@ func (w *World) extractOutcome(status core.EstablishStatus, statusKnown bool, se
 
 // Run builds and executes one scenario, returning its outcome.
 func Run(cfg Config) (metrics.Outcome, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cooperative cancellation (see World.RunContext).
+func RunContext(ctx context.Context, cfg Config) (metrics.Outcome, error) {
 	w, err := Build(cfg)
 	if err != nil {
 		return metrics.Outcome{}, err
 	}
-	return w.Run(), nil
+	return w.RunContext(ctx)
 }
 
 // SweepOptions tune a replication sweep.
@@ -588,6 +606,10 @@ type SweepOptions struct {
 	Workers int
 	// Progress, when non-nil, is called after each replication completes.
 	Progress func(done, total int)
+	// OnRep, when non-nil, is called after each replication completes with
+	// its replication index and error (nil on success). Calls are
+	// serialised but, with more than one worker, not in replication order.
+	OnRep func(rep int, err error)
 }
 
 // RunMany executes reps independent runs of cfg with derived seeds and
@@ -619,7 +641,8 @@ func RunSweep(ctx context.Context, cfg Config, reps int, opt SweepOptions, mutat
 		Workers:  opt.Workers,
 		SeedOf:   func(rep int) int64 { return cfgs[rep].Seed },
 		Progress: opt.Progress,
-	}, func(_ context.Context, rep int) (metrics.Outcome, error) {
-		return Run(cfgs[rep])
+		OnRep:    opt.OnRep,
+	}, func(ctx context.Context, rep int) (metrics.Outcome, error) {
+		return RunContext(ctx, cfgs[rep])
 	})
 }

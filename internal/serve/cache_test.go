@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCacheMissThenHit(t *testing.T) {
+	c := NewCache(4)
+	e, leader := c.Begin("k")
+	if !leader {
+		t.Fatal("first Begin should lead")
+	}
+	c.Complete(e, []byte("result"), nil)
+
+	e2, leader := c.Begin("k")
+	if leader {
+		t.Fatal("second Begin should hit")
+	}
+	b, err := e2.Wait(context.Background())
+	if err != nil || string(b) != "result" {
+		t.Fatalf("Wait = %q, %v", b, err)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 1 || st.Joins != 0 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheSingleFlightCoalesces(t *testing.T) {
+	c := NewCache(4)
+	leaderEntry, leader := c.Begin("k")
+	if !leader {
+		t.Fatal("no leader")
+	}
+	const followers = 8
+	var wg sync.WaitGroup
+	results := make([][]byte, followers)
+	for i := 0; i < followers; i++ {
+		e, lead := c.Begin("k")
+		if lead {
+			t.Fatal("follower elected leader")
+		}
+		wg.Add(1)
+		go func(i int, e *Entry) {
+			defer wg.Done()
+			results[i], _ = e.Wait(context.Background())
+		}(i, e)
+	}
+	c.Complete(leaderEntry, []byte("shared"), nil)
+	wg.Wait()
+	for i, b := range results {
+		if string(b) != "shared" {
+			t.Fatalf("follower %d saw %q", i, b)
+		}
+	}
+	st := c.Stats()
+	if st.Joins != followers || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheFailedRunNotCached(t *testing.T) {
+	c := NewCache(4)
+	e, _ := c.Begin("k")
+	c.Complete(e, nil, errors.New("boom"))
+	if _, err := e.Wait(context.Background()); err == nil {
+		t.Fatal("waiter missed the failure")
+	}
+	if _, leader := c.Begin("k"); !leader {
+		t.Fatal("failed entry should have been removed; next request must lead")
+	}
+}
+
+func TestCacheEvictsLRUCompletedOnly(t *testing.T) {
+	c := NewCache(2)
+	for i := 0; i < 2; i++ {
+		e, _ := c.Begin(fmt.Sprintf("done-%d", i))
+		c.Complete(e, []byte("x"), nil)
+	}
+	inflight, _ := c.Begin("inflight") // exceeds cap; oldest completed goes
+	if got := c.Stats().Entries; got != 2 {
+		t.Fatalf("entries = %d, want 2", got)
+	}
+	if _, leader := c.Begin("done-0"); !leader {
+		t.Fatal("done-0 should have been evicted")
+	}
+	// The in-flight entry must never be evicted, no matter the pressure.
+	for i := 0; i < 5; i++ {
+		e, _ := c.Begin(fmt.Sprintf("more-%d", i))
+		c.Complete(e, []byte("x"), nil)
+	}
+	if _, leader := c.Begin("inflight"); leader {
+		t.Fatal("in-flight entry was evicted")
+	}
+	_ = inflight
+}
+
+func TestCacheWaitRespectsContext(t *testing.T) {
+	c := NewCache(2)
+	e, _ := c.Begin("k")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Wait(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+}
+
+func TestCachePutOverwrites(t *testing.T) {
+	c := NewCache(2)
+	c.Put("k", []byte("v1"))
+	c.Put("k", []byte("v2"))
+	e, leader := c.Begin("k")
+	if leader {
+		t.Fatal("Put entry should be hittable")
+	}
+	b, err := e.Wait(context.Background())
+	if err != nil || string(b) != "v2" {
+		t.Fatalf("Wait = %q, %v", b, err)
+	}
+}

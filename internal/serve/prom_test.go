@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryRendersInRegistrationOrder(t *testing.T) {
+	reg := &Registry{}
+	c := reg.Counter("test_a_total", "first")
+	reg.GaugeFunc("test_b", "second", func() float64 { return 2.5 })
+	c.Add(3)
+
+	var sb strings.Builder
+	if err := reg.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	want := "# HELP test_a_total first\n# TYPE test_a_total counter\ntest_a_total 3\n" +
+		"# HELP test_b second\n# TYPE test_b gauge\ntest_b 2.5\n"
+	if out != want {
+		t.Errorf("rendered:\n%s\nwant:\n%s", out, want)
+	}
+}
+
+func TestCounterVec(t *testing.T) {
+	reg := &Registry{}
+	v := reg.CounterVec("jobs_total", "jobs", "status", "done", "failed")
+	v.Inc("done")
+	v.Inc("done")
+	v.Inc("failed")
+	if v.Value("done") != 2 || v.Value("failed") != 1 {
+		t.Fatalf("values = %d, %d", v.Value("done"), v.Value("failed"))
+	}
+	var sb strings.Builder
+	if err := reg.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, line := range []string{`jobs_total{status="done"} 2`, `jobs_total{status="failed"} 1`} {
+		if !strings.Contains(out, line) {
+			t.Errorf("missing %q in:\n%s", line, out)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("incrementing an undeclared label value should panic")
+		}
+	}()
+	v.Inc("unknown")
+}
+
+func TestHistogramCumulativeBuckets(t *testing.T) {
+	reg := &Registry{}
+	h := reg.Histogram("job_seconds", "wall time", 0.1, 1, 10)
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count() = %d", h.Count())
+	}
+	var sb strings.Builder
+	if err := reg.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, line := range []string{
+		`job_seconds_bucket{le="0.1"} 1`,
+		`job_seconds_bucket{le="1"} 3`,
+		`job_seconds_bucket{le="10"} 4`,
+		`job_seconds_bucket{le="+Inf"} 5`,
+		`job_seconds_sum 56.05`,
+		`job_seconds_count 5`,
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("missing %q in:\n%s", line, out)
+		}
+	}
+}
+
+func TestHistogramRejectsUnsortedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-ascending bounds")
+		}
+	}()
+	(&Registry{}).Histogram("bad", "x", 1, 1)
+}

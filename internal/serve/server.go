@@ -1,0 +1,520 @@
+// Package serve turns the batch simulator into a long-running HTTP service:
+// simulation and sweep jobs arrive as JSON, execute on a bounded worker pool
+// layered over internal/exp, and stream per-replication progress back as
+// NDJSON. Identical requests — byte-identical by the replay-determinism
+// guarantee — are answered from a deterministic LRU result cache keyed by
+// the canonical config hash (scenario.Fingerprint), with single-flight
+// coalescing for requests that overlap in flight.
+//
+// Endpoints:
+//
+//	POST /jobs            submit a job; the response is an NDJSON stream of
+//	                      accepted/progress/result lines, the final line
+//	                      being the result payload itself
+//	GET  /jobs            list retained jobs
+//	GET  /jobs/{id}       one job's status and result
+//	GET  /jobs/{id}/trace the retained event log of a trace-enabled run
+//	GET  /metrics         Prometheus text exposition
+//	GET  /healthz         liveness and drain state
+//
+// Admission control is a bounded queue: jobs beyond Workers+QueueDepth are
+// rejected with 429 and a Retry-After header, a disconnected client cancels
+// its job's context, and Drain stops admission, finishes in-flight jobs and
+// reports the final cache statistics.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blackdp/internal/exp"
+	"blackdp/internal/metrics"
+	"blackdp/internal/scenario"
+	"blackdp/internal/trace"
+)
+
+// Config tunes the service.
+type Config struct {
+	// Workers is the number of jobs executing concurrently (default 2).
+	// Each sweep job additionally fans replications across its own
+	// internal/exp pool, so total parallelism is Workers x SweepWorkers.
+	Workers int
+	// QueueDepth is how many admitted jobs may wait for a worker before
+	// admission control starts rejecting with 429 (default 16; negative
+	// means no queue at all — reject unless a worker is free).
+	QueueDepth int
+	// CacheEntries bounds the result cache (default 128 completed entries).
+	CacheEntries int
+	// SweepWorkers is the default per-job replication pool (0 = one per
+	// CPU); a request's "workers" field overrides it per job.
+	SweepWorkers int
+	// MaxReps caps a single sweep request (default 10000).
+	MaxReps int
+	// RetainJobs bounds the completed-job registry (default 256).
+	RetainJobs int
+	// RetryAfter is advertised on 429/503 responses (default 1s).
+	RetryAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 16
+	} else if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 128
+	}
+	if c.SweepWorkers <= 0 {
+		c.SweepWorkers = exp.DefaultWorkers()
+	}
+	if c.MaxReps <= 0 {
+		c.MaxReps = 10_000
+	}
+	if c.RetainJobs <= 0 {
+		c.RetainJobs = 256
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Server is the simulation service. Create with New, expose with Handler or
+// Serve, stop with Drain.
+type Server struct {
+	cfg   Config
+	cache *Cache
+	reg   *Registry
+	mux   *http.ServeMux
+	http  *http.Server
+
+	admSlots chan struct{} // admission: Workers+QueueDepth
+	runSlots chan struct{} // execution: Workers
+	queued   atomic.Int64
+	running  atomic.Int64
+	draining atomic.Bool
+
+	seq    atomic.Uint64
+	jobsMu sync.Mutex
+	jobs   map[string]*Job
+	order  []string
+
+	mAccepted *Counter
+	mRejected *Counter
+	mJobs     *CounterVec
+	mReps     *Counter
+	mSeconds  *Histogram
+}
+
+// New builds a server with cfg (zero fields take defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		cache:    NewCache(cfg.CacheEntries),
+		reg:      &Registry{},
+		mux:      http.NewServeMux(),
+		admSlots: make(chan struct{}, cfg.Workers+cfg.QueueDepth),
+		runSlots: make(chan struct{}, cfg.Workers),
+		jobs:     make(map[string]*Job),
+	}
+	s.http = &http.Server{Handler: s.mux}
+
+	s.mAccepted = s.reg.Counter("blackdp_serve_jobs_accepted_total",
+		"Jobs admitted, including ones answered from the cache.")
+	s.mRejected = s.reg.Counter("blackdp_serve_jobs_rejected_total",
+		"Jobs rejected with 429 by admission control.")
+	s.mJobs = s.reg.CounterVec("blackdp_serve_jobs_total",
+		"Executed jobs by final status.", "status", StatusDone, StatusFailed, StatusCanceled)
+	s.mReps = s.reg.Counter("blackdp_serve_reps_completed_total",
+		"Simulation replications completed across all jobs.")
+	s.reg.CounterFunc("blackdp_serve_cache_hits_total",
+		"Requests answered from the result cache (completed entries plus in-flight joins).",
+		func() uint64 { st := s.cache.Stats(); return st.Hits + st.Joins })
+	s.reg.CounterFunc("blackdp_serve_cache_misses_total",
+		"Requests that had to execute the simulation.",
+		func() uint64 { return s.cache.Stats().Misses })
+	s.reg.CounterFunc("blackdp_serve_cache_coalesced_total",
+		"Cache hits that joined a result still being computed.",
+		func() uint64 { return s.cache.Stats().Joins })
+	s.reg.GaugeFunc("blackdp_serve_cache_entries",
+		"Entries currently in the result cache.",
+		func() float64 { return float64(s.cache.Stats().Entries) })
+	s.reg.GaugeFunc("blackdp_serve_jobs_running",
+		"Jobs currently executing.",
+		func() float64 { return float64(s.running.Load()) })
+	s.reg.GaugeFunc("blackdp_serve_queue_depth",
+		"Admitted jobs waiting for a worker.",
+		func() float64 { return float64(s.queued.Load()) })
+	s.mSeconds = s.reg.Histogram("blackdp_serve_job_seconds",
+		"Wall time per executed job.", 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60)
+
+	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /jobs", s.handleList)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s
+}
+
+// Handler exposes the service mux (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on l until Drain; it returns
+// http.ErrServerClosed after a clean drain, like net/http.
+func (s *Server) Serve(l net.Listener) error { return s.http.Serve(l) }
+
+// Drain stops admission (new submissions get 503), waits for in-flight
+// requests — running jobs and their streams included — and returns the
+// final cache statistics for the shutdown log.
+func (s *Server) Drain(ctx context.Context) (CacheStats, error) {
+	s.draining.Store(true)
+	err := s.http.Shutdown(ctx)
+	return s.cache.Stats(), err
+}
+
+// Metrics exposes the registry (for embedding additional instruments).
+func (s *Server) Metrics() *Registry { return s.reg }
+
+// resultPayload is the final NDJSON line of a successful job — the bytes
+// the cache stores and replays verbatim, so identical requests get
+// byte-identical outcome JSON.
+type resultPayload struct {
+	Outcomes []metrics.Outcome `json:"outcomes"`
+	Summary  metrics.Report    `json:"summary"`
+}
+
+func (s *Server) retryAfter() string {
+	secs := int(s.cfg.RetryAfter.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+func writeJSONLine(w io.Writer, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+	return err
+}
+
+type streamLine struct {
+	Type      string `json:"type"`
+	Job       string `json:"job"`
+	Key       string `json:"key,omitempty"`
+	Cache     string `json:"cache,omitempty"`
+	Rep       int    `json:"rep,omitempty"`
+	Done      int    `json:"done,omitempty"`
+	Total     int    `json:"total,omitempty"`
+	ElapsedMS int64  `json:"elapsed_ms,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", s.retryAfter())
+		http.Error(w, "serve: draining, not accepting jobs", http.StatusServiceUnavailable)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, "serve: reading request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	spec, err := parseRequest(body, s.cfg.MaxReps)
+	if err != nil {
+		http.Error(w, "serve: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	ctx := r.Context()
+
+	// Cache read path. Trace jobs skip it — an event log cannot come from
+	// the cache — but still publish their result bytes on completion.
+	var entry *Entry
+	if !spec.trace {
+		var leader bool
+		entry, leader = s.cache.Begin(spec.key)
+		if !leader {
+			s.serveCached(ctx, w, spec, entry)
+			return
+		}
+	}
+
+	// Admission control: reserve a queue slot or reject immediately.
+	select {
+	case s.admSlots <- struct{}{}:
+	default:
+		if entry != nil {
+			s.cache.Abort(entry, errors.New("serve: rejected by admission control"))
+		}
+		s.mRejected.Inc()
+		w.Header().Set("Retry-After", s.retryAfter())
+		http.Error(w, "serve: job queue full", http.StatusTooManyRequests)
+		return
+	}
+	defer func() { <-s.admSlots }()
+	s.mAccepted.Inc()
+	job := s.newJob(spec)
+	job.setCache("miss")
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Blackdp-Cache", "miss")
+	_ = writeJSONLine(w, streamLine{Type: "accepted", Job: job.ID, Key: spec.key, Cache: "miss", Total: spec.reps})
+
+	// Wait for a worker; a disconnected client releases its slot and
+	// withdraws the in-flight cache entry so the next request leads.
+	s.queued.Add(1)
+	select {
+	case s.runSlots <- struct{}{}:
+	case <-ctx.Done():
+		s.queued.Add(-1)
+		if entry != nil {
+			s.cache.Abort(entry, ctx.Err())
+		}
+		job.finish(StatusCanceled, ctx.Err().Error(), nil, nil)
+		s.mJobs.Inc(StatusCanceled)
+		return
+	}
+	s.queued.Add(-1)
+	s.running.Add(1)
+	defer func() { s.running.Add(-1); <-s.runSlots }()
+
+	job.setStatus(StatusRunning)
+	start := time.Now()
+
+	// Progress lines flow through a buffered channel to a writer goroutine:
+	// OnRep fires under the sweep pool's lock, and a slow client must stall
+	// neither the pool nor the other workers — excess lines are dropped.
+	lines := make(chan streamLine, 64)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		for line := range lines {
+			_ = writeJSONLine(w, line)
+		}
+	}()
+	repsDone := 0
+	onRep := func(rep int, err error) { // serialised by exp.Map
+		s.mReps.Inc()
+		repsDone++
+		line := streamLine{Type: "progress", Job: job.ID, Rep: rep, Done: repsDone, Total: spec.reps}
+		if err != nil {
+			line.Error = err.Error()
+		}
+		select {
+		case lines <- line:
+		default: // drop: progress is advisory, the result line is not
+		}
+	}
+
+	outcomes, log, err := s.execute(ctx, spec, onRep)
+	close(lines)
+	<-writerDone
+	elapsed := time.Since(start)
+
+	if err != nil {
+		if entry != nil {
+			s.cache.Complete(entry, nil, err)
+		}
+		status := StatusFailed
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			status = StatusCanceled
+		}
+		job.finish(status, err.Error(), nil, nil)
+		s.mJobs.Inc(status)
+		_ = writeJSONLine(w, streamLine{Type: "error", Job: job.ID, Error: err.Error(), ElapsedMS: elapsed.Milliseconds()})
+		return
+	}
+
+	payload, err := json.Marshal(resultPayload{Outcomes: outcomes, Summary: metrics.Aggregate(outcomes).Report()})
+	if err != nil {
+		if entry != nil {
+			s.cache.Complete(entry, nil, err)
+		}
+		job.finish(StatusFailed, err.Error(), nil, nil)
+		s.mJobs.Inc(StatusFailed)
+		_ = writeJSONLine(w, streamLine{Type: "error", Job: job.ID, Error: err.Error()})
+		return
+	}
+	if entry != nil {
+		s.cache.Complete(entry, payload, nil)
+	} else {
+		s.cache.Put(spec.key, payload)
+	}
+	job.finish(StatusDone, "", payload, log)
+	s.mJobs.Inc(StatusDone)
+	s.mSeconds.Observe(elapsed.Seconds())
+	_ = writeJSONLine(w, streamLine{Type: "result", Job: job.ID, Cache: "miss", ElapsedMS: elapsed.Milliseconds(), Total: spec.reps})
+	_, _ = w.Write(payload)
+	_, _ = io.WriteString(w, "\n")
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// serveCached answers a request whose key is already cached or in flight.
+func (s *Server) serveCached(ctx context.Context, w http.ResponseWriter, spec jobSpec, entry *Entry) {
+	s.mAccepted.Inc()
+	job := s.newJob(spec)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Blackdp-Cache", "hit")
+	_ = writeJSONLine(w, streamLine{Type: "accepted", Job: job.ID, Key: spec.key, Cache: "hit", Total: spec.reps})
+	start := time.Now()
+	payload, err := entry.Wait(ctx)
+	if err != nil {
+		job.finish(StatusFailed, err.Error(), nil, nil)
+		s.mJobs.Inc(StatusFailed)
+		_ = writeJSONLine(w, streamLine{Type: "error", Job: job.ID, Error: err.Error()})
+		return
+	}
+	job.setCache("hit")
+	job.finish(StatusDone, "", payload, nil)
+	s.mJobs.Inc(StatusDone)
+	_ = writeJSONLine(w, streamLine{Type: "result", Job: job.ID, Cache: "hit", ElapsedMS: time.Since(start).Milliseconds(), Total: spec.reps})
+	_, _ = w.Write(payload)
+	_, _ = io.WriteString(w, "\n")
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// execute runs the job's workload under ctx.
+func (s *Server) execute(ctx context.Context, spec jobSpec, onRep func(int, error)) ([]metrics.Outcome, *trace.Log, error) {
+	switch spec.kind {
+	case "run":
+		cfg := spec.cfg
+		cfg.Trace = spec.trace
+		world, err := scenario.Build(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		o, err := world.RunContext(ctx)
+		if onRep != nil {
+			onRep(0, err)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		var log *trace.Log
+		if spec.trace {
+			snap := world.Env.Tracer.Snapshot()
+			log = &snap
+		}
+		return []metrics.Outcome{o}, log, nil
+	default: // "sweep", validated upstream
+		pool := spec.pool
+		if pool <= 0 {
+			pool = s.cfg.SweepWorkers
+		}
+		outcomes, err := scenario.RunSweep(ctx, spec.cfg, spec.reps,
+			scenario.SweepOptions{Workers: pool, OnRep: onRep}, nil)
+		return outcomes, nil, err
+	}
+}
+
+// newJob registers a retained job record, evicting the oldest finished jobs
+// beyond the retention bound.
+func (s *Server) newJob(spec jobSpec) *Job {
+	j := &Job{ID: fmt.Sprintf("j-%d", s.seq.Add(1)), Kind: spec.kind, Key: spec.key,
+		Reps: spec.reps, status: StatusQueued, created: time.Now()}
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	for len(s.order) > s.cfg.RetainJobs {
+		evicted := false
+		for i, id := range s.order {
+			if s.jobs[id].done() {
+				delete(s.jobs, id)
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			break // everything is in flight; admission bounds this
+		}
+	}
+	return j
+}
+
+func (s *Server) lookup(id string) *Job {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	return s.jobs[id]
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.jobsMu.Lock()
+	views := make([]jobView, 0, len(s.order))
+	for _, id := range s.order {
+		views = append(views, s.jobs[id].view(false))
+	}
+	s.jobsMu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(struct {
+		Jobs []jobView `json:"jobs"`
+	}{views})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	job := s.lookup(r.PathValue("id"))
+	if job == nil {
+		http.Error(w, "serve: no such job", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(job.view(true))
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	job := s.lookup(r.PathValue("id"))
+	if job == nil {
+		http.Error(w, "serve: no such job", http.StatusNotFound)
+		return
+	}
+	log := job.traceSnapshot()
+	if log == nil {
+		http.Error(w, "serve: job retained no trace (submit with \"trace\": true)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_ = log.Dump(w)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.Render(w)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(struct {
+		Status string `json:"status"`
+	}{status})
+}

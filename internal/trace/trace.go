@@ -91,6 +91,57 @@ func (r *Recorder) Events() []Event {
 	return out
 }
 
+// Log is an immutable snapshot of a recorder: the retained events plus the
+// eviction count at snapshot time. Unlike a live *Recorder — which belongs
+// to the single simulation goroutine and must not be shared — a Log is plain
+// data, safe to retain and read concurrently after the run finishes. The
+// serve subsystem keeps one per completed job for its trace endpoint.
+type Log struct {
+	Events  []Event
+	Dropped uint64
+}
+
+// Snapshot captures the recorder's current state as an immutable Log. A nil
+// recorder snapshots to the zero Log.
+func (r *Recorder) Snapshot() Log {
+	return Log{Events: r.Events(), Dropped: r.Dropped()}
+}
+
+// Filter returns the log's events matching the given categories (all, if
+// none given) and node (any, if wire.Broadcast).
+func (l Log) Filter(node wire.NodeID, cats ...Category) []Event {
+	want := make(map[Category]bool, len(cats))
+	for _, c := range cats {
+		want[c] = true
+	}
+	var out []Event
+	for _, e := range l.Events {
+		if node != wire.Broadcast && e.Node != node {
+			continue
+		}
+		if len(want) > 0 && !want[e.Category] {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Dump writes every event to w, one per line, noting evictions at the top.
+func (l Log) Dump(w io.Writer) error {
+	if l.Dropped > 0 {
+		if _, err := fmt.Fprintf(w, "(%d earlier events evicted by the capacity bound)\n", l.Dropped); err != nil {
+			return err
+		}
+	}
+	for _, e := range l.Events {
+		if _, err := fmt.Fprintln(w, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Dropped returns how many events were evicted by the capacity bound.
 func (r *Recorder) Dropped() uint64 {
 	if r == nil {

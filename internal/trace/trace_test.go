@@ -84,6 +84,58 @@ func TestDump(t *testing.T) {
 	}
 }
 
+func TestSnapshotIsImmutable(t *testing.T) {
+	r := NewRecorder(func() time.Duration { return 0 }, 2)
+	r.Logf(1, CatDetect, "a")
+	r.Logf(2, CatIsolate, "b")
+	snap := r.Snapshot()
+
+	// Later recording must not leak into an earlier snapshot.
+	r.Logf(3, CatRouting, "c")
+	r.Logf(4, CatRouting, "d")
+	if len(snap.Events) != 2 || snap.Events[0].Message != "a" || snap.Dropped != 0 {
+		t.Fatalf("snapshot changed after recording: %+v", snap)
+	}
+	if later := r.Snapshot(); later.Dropped != 2 || len(later.Events) != 2 {
+		t.Fatalf("later snapshot = %d events, %d dropped; want 2, 2", len(later.Events), later.Dropped)
+	}
+
+	if got := snap.Filter(wire.Broadcast, CatIsolate); len(got) != 1 || got[0].Message != "b" {
+		t.Errorf("Log.Filter(isolate) = %+v", got)
+	}
+	if got := snap.Filter(1); len(got) != 1 || got[0].Message != "a" {
+		t.Errorf("Log.Filter(node 1) = %+v", got)
+	}
+}
+
+func TestNilRecorderSnapshot(t *testing.T) {
+	var r *Recorder
+	snap := r.Snapshot()
+	if len(snap.Events) != 0 || snap.Dropped != 0 {
+		t.Fatalf("nil recorder snapshot = %+v", snap)
+	}
+	var sb strings.Builder
+	if err := snap.Dump(&sb); err != nil || sb.Len() != 0 {
+		t.Errorf("zero log dump = %q, %v", sb.String(), err)
+	}
+}
+
+func TestLogDumpNotesEvictions(t *testing.T) {
+	r := NewRecorder(func() time.Duration { return 0 }, 1)
+	r.Logf(1, CatDetect, "a")
+	r.Logf(1, CatDetect, "b")
+	var sb strings.Builder
+	if err := r.Snapshot().Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "1 earlier events evicted") {
+		t.Errorf("dump does not note evictions: %q", sb.String())
+	}
+	if !strings.Contains(sb.String(), "b") {
+		t.Errorf("dump missing retained event: %q", sb.String())
+	}
+}
+
 func TestEventsCopyIsolated(t *testing.T) {
 	r := NewRecorder(func() time.Duration { return 0 }, 0)
 	r.Logf(1, CatDetect, "a")

@@ -1,0 +1,23 @@
+#!/bin/sh
+# Run the service-path benchmarks and write BENCH_serve.json: one object
+# per benchmark with ns/op, B/op and allocs/op, so regressions diff cleanly
+# in review. Usage: scripts/bench.sh [benchtime], default 10x.
+set -eu
+cd "$(dirname "$0")/.."
+benchtime="${1:-10x}"
+out="BENCH_serve.json"
+raw="$(go test ./internal/serve -run '^$' -bench . -benchtime "$benchtime" -benchmem -count=1)"
+echo "$raw"
+echo "$raw" | awk -v benchtime="$benchtime" '
+  /^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    rows[++n] = sprintf("  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+                        name, $2, $3, $5, $7)
+  }
+  END {
+    printf "{\n\"benchtime\": \"%s\",\n\"benchmarks\": [\n", benchtime
+    for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], (i < n ? "," : "")
+    print "]\n}"
+  }
+' > "$out"
+echo "wrote $out"
