@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench serve
+.PHONY: build test race bench profile serve
 
 build:
 	$(GO) build ./...
@@ -11,9 +11,14 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Service-path benchmarks; refreshes the committed BENCH_serve.json baseline.
+# Benchmark suites; refreshes the committed BENCH_serve.json and
+# BENCH_core.json baselines (median of 5 runs).
 bench:
 	sh scripts/bench.sh
+
+# CPU + heap profiles of a live sweep via blackdp-serve -pprof.
+profile:
+	sh scripts/profile.sh
 
 serve: build
 	$(GO) run ./cmd/blackdp-serve

@@ -11,11 +11,17 @@
 // RSUs, bait probing under disposable identities, and isolation through
 // certificate revocation and blacklists.
 //
-// The public API is scenario-oriented:
+// The public API is scenario-oriented and context-first:
 //
 //	cfg := blackdp.DefaultConfig()       // the paper's Table I
 //	cfg.AttackerCluster = 4
-//	outcome, err := blackdp.Run(cfg)
+//	outcome, err := blackdp.Run(ctx, cfg)
+//
+// Replication sweeps take functional options:
+//
+//	outcomes, err := blackdp.Sweep(ctx, cfg, 100,
+//	    blackdp.WithWorkers(8),
+//	    blackdp.WithProgress(func(done, total int) { ... }))
 //
 // Experiment entry points regenerate the paper's evaluation: Fig4 sweeps
 // the attacker across clusters and reports detection accuracy and error
@@ -23,6 +29,10 @@
 // returns the simulation parameters; CompareDetectors and RunConnector
 // reproduce the related-work comparison, including the connector topology
 // where sequence-number heuristics fail.
+//
+// The pre-context entry points (RunContext, RunMany, RunSweep, Fig4Sweep,
+// Fig5Sweep, CompareDetectorsSweep) remain as thin deprecated wrappers over
+// the canonical functions.
 package blackdp
 
 import (
@@ -101,13 +111,69 @@ const (
 // authorities).
 func DefaultConfig() Config { return scenario.DefaultConfig() }
 
-// Run executes one simulation and returns its outcome.
-func Run(cfg Config) (Outcome, error) { return scenario.Run(cfg) }
+// Option tunes a run or sweep. Options compose left to right; the zero set
+// means "one worker per CPU, no callbacks, no per-replication mutation".
+type Option func(*options)
 
-// RunContext is Run with cancellation: the context is checked between
-// scheduler slices, so a canceled run stops within one simulated slice.
-func RunContext(ctx context.Context, cfg Config) (Outcome, error) {
+type options struct {
+	workers  int
+	progress func(done, total int)
+	onRep    func(rep int, err error)
+	mutate   func(rep int, c *Config)
+}
+
+func (o options) sweepOptions() SweepOptions {
+	return SweepOptions{Workers: o.workers, Progress: o.progress, OnRep: o.onRep}
+}
+
+func buildOptions(opts []Option) options {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// WithWorkers sets the sweep's worker-pool size: 0 means one per CPU, 1
+// reproduces the serial path exactly. Results are byte-identical for any
+// worker count.
+func WithWorkers(n int) Option { return func(o *options) { o.workers = n } }
+
+// WithProgress installs a callback invoked after each replication completes
+// with the number done so far and the total. Calls are serialised but, with
+// more than one worker, not in replication order.
+func WithProgress(fn func(done, total int)) Option {
+	return func(o *options) { o.progress = fn }
+}
+
+// WithOnRep installs a callback invoked after each replication completes
+// with its replication index and error (nil on success), immediately before
+// the progress callback and under the same lock.
+func WithOnRep(fn func(rep int, err error)) Option {
+	return func(o *options) { o.onRep = fn }
+}
+
+// WithMutate installs a per-replication config hook for Sweep: it runs
+// serially in replication order before the sweep fans out (after the rep's
+// seed is assigned), so it may touch caller state without locking.
+func WithMutate(fn func(rep int, c *Config)) Option {
+	return func(o *options) { o.mutate = fn }
+}
+
+// Run executes one simulation and returns its outcome. The context is
+// checked between scheduler slices, so a canceled run stops within one
+// simulated slice. Sweep-scoped options (workers, callbacks, mutation) do
+// not apply to a single run and are ignored.
+func Run(ctx context.Context, cfg Config, opts ...Option) (Outcome, error) {
+	_ = buildOptions(opts)
 	return scenario.RunContext(ctx, cfg)
+}
+
+// RunContext executes one simulation with cancellation.
+//
+// Deprecated: Use [Run], which is context-first with the same semantics.
+func RunContext(ctx context.Context, cfg Config) (Outcome, error) {
+	return Run(ctx, cfg)
 }
 
 // Canonical returns the deterministic serialized form of a config:
@@ -132,19 +198,33 @@ func BurstPlan(lossBad, goodToBad, badToGood float64) FaultPlan {
 	return scenario.BurstPlan(lossBad, goodToBad, badToGood)
 }
 
-// RunMany executes reps runs with derived seeds across one worker per CPU;
-// mutate, when non-nil, adjusts each rep's config. Results are identical to
-// a serial sweep (replication seeds and result order depend only on the
-// replication index).
+// Sweep executes reps independent runs of cfg with derived seeds and
+// returns every outcome in replication order. Replication seeds are a pure
+// function of cfg.Seed and the replication index, worlds are built privately
+// per replication, and outcomes are collected in replication order — so any
+// worker count yields identical results.
+func Sweep(ctx context.Context, cfg Config, reps int, opts ...Option) ([]Outcome, error) {
+	o := buildOptions(opts)
+	return scenario.RunSweep(ctx, cfg, reps, o.sweepOptions(), o.mutate)
+}
+
+// RunMany executes reps runs with derived seeds across one worker per CPU.
+//
+// Deprecated: Use [Sweep] with [WithMutate]; RunMany cannot be cancelled.
 func RunMany(cfg Config, reps int, mutate func(rep int, c *Config)) ([]Outcome, error) {
-	return scenario.RunMany(cfg, reps, mutate)
+	return Sweep(context.Background(), cfg, reps, WithMutate(mutate))
 }
 
 // SweepOptions tune a replication sweep: worker-pool size (0 = one per
-// CPU, 1 = the serial path) and an optional progress callback.
+// CPU, 1 = the serial path) and optional progress callbacks. It survives
+// for the deprecated *Sweep wrappers; the canonical entry points take
+// functional options instead.
 type SweepOptions = scenario.SweepOptions
 
-// RunSweep is RunMany with cancellation and explicit sweep options.
+// RunSweep is Sweep with an options struct.
+//
+// Deprecated: Use [Sweep] with [WithWorkers], [WithProgress], [WithOnRep]
+// and [WithMutate].
 func RunSweep(ctx context.Context, cfg Config, reps int, opt SweepOptions, mutate func(rep int, c *Config)) ([]Outcome, error) {
 	return scenario.RunSweep(ctx, cfg, reps, opt, mutate)
 }
@@ -167,23 +247,28 @@ func ByCluster(outcomes []Outcome) map[int]Summary { return metrics.ByCluster(ou
 
 // Fig4 sweeps the attacker over every cluster for the given attack kind
 // with reps repetitions per cluster, enabling the paper's evasive
-// behaviours in the last three clusters.
-func Fig4(base Config, kind AttackKind, reps int) ([]Fig4Point, error) {
-	return scenario.RunFig4(base, kind, reps)
+// behaviours in the last three clusters. The full clusters x reps grid runs
+// as one flat parallel sweep.
+func Fig4(ctx context.Context, base Config, kind AttackKind, reps int, opts ...Option) ([]Fig4Point, error) {
+	return scenario.RunFig4Sweep(ctx, base, kind, reps, buildOptions(opts).sweepOptions())
 }
 
-// Fig4Sweep is Fig4 with cancellation and sweep options; the full
-// clusters x reps grid runs as one flat parallel sweep.
+// Fig4Sweep is Fig4 with an options struct.
+//
+// Deprecated: Use [Fig4], which is context-first with functional options.
 func Fig4Sweep(ctx context.Context, base Config, kind AttackKind, reps int, opt SweepOptions) ([]Fig4Point, error) {
 	return scenario.RunFig4Sweep(ctx, base, kind, reps, opt)
 }
 
 // Fig5 measures the detection-packet count of every Figure 5 scenario
-// class.
-func Fig5(seed int64) ([]Fig5Result, error) { return scenario.Fig5Series(seed) }
+// class (one category per worker).
+func Fig5(ctx context.Context, seed int64, opts ...Option) ([]Fig5Result, error) {
+	return scenario.Fig5SeriesSweep(ctx, seed, buildOptions(opts).sweepOptions())
+}
 
-// Fig5Sweep is Fig5 with cancellation and sweep options (one category per
-// worker).
+// Fig5Sweep is Fig5 with an options struct.
+//
+// Deprecated: Use [Fig5], which is context-first with functional options.
 func Fig5Sweep(ctx context.Context, seed int64, opt SweepOptions) ([]Fig5Result, error) {
 	return scenario.Fig5SeriesSweep(ctx, seed, opt)
 }
@@ -197,14 +282,16 @@ func RunFig5(cat Fig5Category, seed int64) (Fig5Result, error) {
 }
 
 // CompareDetectors scores the related-work sequence-number detectors and
-// BlackDP over reps identical scenarios.
-func CompareDetectors(cfg Config, reps int) ([]DetectorScore, error) {
-	return scenario.CompareDetectors(cfg, reps)
+// BlackDP over reps identical scenarios: worlds fan out across the pool,
+// detector scoring folds in replication order.
+func CompareDetectors(ctx context.Context, cfg Config, reps int, opts ...Option) ([]DetectorScore, error) {
+	return scenario.CompareDetectorsSweep(ctx, cfg, reps, buildOptions(opts).sweepOptions())
 }
 
-// CompareDetectorsSweep is CompareDetectors with cancellation and sweep
-// options: worlds fan out across the pool, detector scoring folds in
-// replication order.
+// CompareDetectorsSweep is CompareDetectors with an options struct.
+//
+// Deprecated: Use [CompareDetectors], which is context-first with
+// functional options.
 func CompareDetectorsSweep(ctx context.Context, cfg Config, reps int, opt SweepOptions) ([]DetectorScore, error) {
 	return scenario.CompareDetectorsSweep(ctx, cfg, reps, opt)
 }

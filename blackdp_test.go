@@ -1,6 +1,7 @@
 package blackdp_test
 
 import (
+	"context"
 	"testing"
 
 	"blackdp"
@@ -10,7 +11,7 @@ func TestPublicAPIQuickRun(t *testing.T) {
 	cfg := blackdp.DefaultConfig()
 	cfg.Seed = 1
 	cfg.AttackerCluster = 2
-	o, err := blackdp.Run(cfg)
+	o, err := blackdp.Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,5 +73,49 @@ func TestPublicAPIBuildWorld(t *testing.T) {
 	}
 	if w.Source == nil || w.Attacker == nil || w.Teammate == nil {
 		t.Error("world roles missing")
+	}
+}
+
+// TestPublicAPISweepOptionsAndDeprecatedWrappers checks the functional
+// options drive the sweep (progress/onRep/mutate all fire, any worker count
+// is byte-identical) and that the deprecated struct-options wrappers return
+// exactly what the canonical context-first functions do.
+func TestPublicAPISweepOptionsAndDeprecatedWrappers(t *testing.T) {
+	cfg := blackdp.DefaultConfig()
+	cfg.HighwayLengthM = 4000
+	cfg.Vehicles = 30
+	cfg.AttackerCluster = 2
+	cfg.DataPackets = 5
+	ctx := context.Background()
+
+	var progress, reps, mutated []int
+	serial, err := blackdp.Sweep(ctx, cfg, 3,
+		blackdp.WithWorkers(1),
+		blackdp.WithProgress(func(done, total int) { progress = append(progress, done) }),
+		blackdp.WithOnRep(func(rep int, err error) {
+			if err == nil {
+				reps = append(reps, rep)
+			}
+		}),
+		blackdp.WithMutate(func(rep int, c *blackdp.Config) { mutated = append(mutated, rep) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(progress) != 3 || len(reps) != 3 || len(mutated) != 3 {
+		t.Errorf("callbacks fired progress=%v reps=%v mutated=%v, want 3 each", progress, reps, mutated)
+	}
+
+	parallel, err := blackdp.Sweep(ctx, cfg, 3, blackdp.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := blackdp.RunSweep(ctx, cfg, 3, blackdp.SweepOptions{Workers: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] || serial[i] != old[i] {
+			t.Fatalf("rep %d: outcomes diverged across worker counts or API generations", i)
+		}
 	}
 }

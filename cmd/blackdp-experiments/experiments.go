@@ -21,8 +21,8 @@ type params struct {
 	workers int // replication pool size; 1 reproduces the historical serial path
 }
 
-func (p params) sweepOpts() blackdp.SweepOptions {
-	return blackdp.SweepOptions{Workers: p.workers}
+func (p params) opts() []blackdp.Option {
+	return []blackdp.Option{blackdp.WithWorkers(p.workers)}
 }
 
 func (p params) expOpts() exp.Options {
@@ -73,7 +73,7 @@ func fig4(p params) ([]*report.Table, error) {
 	var tables []*report.Table
 	for _, kind := range []blackdp.AttackKind{blackdp.SingleBlackHole, blackdp.CooperativeBlackHole} {
 		start := time.Now()
-		points, err := blackdp.Fig4Sweep(p.ctx, base, kind, p.reps, p.sweepOpts())
+		points, err := blackdp.Fig4(p.ctx, base, kind, p.reps, p.opts()...)
 		if err != nil {
 			return nil, err
 		}
@@ -134,7 +134,7 @@ func fig5(p params) ([]*report.Table, error) {
 func compare(p params) ([]*report.Table, error) {
 	cfg := blackdp.DefaultConfig()
 	cfg.Seed = p.seed
-	scores, err := blackdp.CompareDetectorsSweep(p.ctx, cfg, p.reps, p.sweepOpts())
+	scores, err := blackdp.CompareDetectors(p.ctx, cfg, p.reps, p.opts()...)
 	if err != nil {
 		return nil, err
 	}
@@ -197,7 +197,7 @@ func loss(p params) ([]*report.Table, error) {
 		cfg.Seed = p.seed
 		cfg.AttackerCluster = 4
 		cfg.LossRate = rate
-		outcomes, err := blackdp.RunSweep(p.ctx, cfg, p.reps, p.sweepOpts(), nil)
+		outcomes, err := blackdp.Sweep(p.ctx, cfg, p.reps, p.opts()...)
 		if err != nil {
 			return nil, err
 		}
@@ -219,7 +219,7 @@ func density(p params) ([]*report.Table, error) {
 		cfg.AttackerCluster = 4
 		cfg.Vehicles = n
 		start := time.Now()
-		outcomes, err := blackdp.RunSweep(p.ctx, cfg, p.reps, p.sweepOpts(), nil)
+		outcomes, err := blackdp.Sweep(p.ctx, cfg, p.reps, p.opts()...)
 		if err != nil {
 			return nil, err
 		}
@@ -255,7 +255,7 @@ func overhead(p params) ([]*report.Table, error) {
 		cfg.AttackerCluster = 4
 		cfg.Attack = r.attack
 		cfg.Vehicle.Verify = r.verify
-		outcomes, err := blackdp.RunSweep(p.ctx, cfg, p.reps, p.sweepOpts(), nil)
+		outcomes, err := blackdp.Sweep(p.ctx, cfg, p.reps, p.opts()...)
 		if err != nil {
 			return nil, err
 		}
@@ -322,7 +322,7 @@ func faults(p params) ([]*report.Table, error) {
 		cfg.AttackerCluster = 4 // the source (and its head) start in cluster 1
 		cfg.Fault = r.plan
 		cfg.Vehicle.DReqRetries = r.retries
-		outcomes, err := blackdp.RunSweep(p.ctx, cfg, p.reps, p.sweepOpts(), nil)
+		outcomes, err := blackdp.Sweep(p.ctx, cfg, p.reps, p.opts()...)
 		if err != nil {
 			return nil, err
 		}
@@ -352,7 +352,7 @@ func faults(p params) ([]*report.Table, error) {
 		if lossBad > 0 {
 			cfg.Fault = blackdp.BurstPlan(lossBad, 0.1, 0.2)
 		}
-		outcomes, err := blackdp.RunSweep(p.ctx, cfg, p.reps, p.sweepOpts(), nil)
+		outcomes, err := blackdp.Sweep(p.ctx, cfg, p.reps, p.opts()...)
 		if err != nil {
 			return nil, err
 		}
@@ -387,7 +387,7 @@ func crypto(p params) ([]*report.Table, error) {
 		cfg.AttackerCluster = 4
 		cfg.RealCrypto = real
 		start := time.Now()
-		outcomes, err := blackdp.RunSweep(p.ctx, cfg, p.reps, p.sweepOpts(), nil)
+		outcomes, err := blackdp.Sweep(p.ctx, cfg, p.reps, p.opts()...)
 		if err != nil {
 			return nil, err
 		}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -44,6 +45,7 @@ func run() error {
 		pool    = flag.Int("sweep-workers", 0, "per-sweep replication pool size (0 = one per CPU)")
 		maxReps = flag.Int("max-reps", 0, "largest accepted sweep (0 = default)")
 		grace   = flag.Duration("grace", 30*time.Second, "drain deadline after SIGTERM")
+		pprofOn = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profiling only; do not enable on untrusted networks)")
 	)
 	flag.Parse()
 
@@ -54,6 +56,20 @@ func run() error {
 		SweepWorkers: *pool,
 		MaxReps:      *maxReps,
 	})
+	if *pprofOn {
+		// Profiling rides on the service port so scripts/profile.sh can
+		// capture CPU and heap profiles of a live sweep without a second
+		// listener. The debug mux wraps the service mux rather than the
+		// reverse, keeping /debug/pprof/ out of the job API's route space.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", s.Handler())
+		s.SetHandler(mux)
+	}
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err

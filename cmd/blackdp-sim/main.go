@@ -9,10 +9,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"blackdp"
@@ -20,16 +22,16 @@ import (
 
 func main() {
 	var (
-		seed     = flag.Int64("seed", 1, "random seed")
-		cluster  = flag.Int("cluster", 0, "attacker cluster 1-10 (0 = random)")
-		attackS  = flag.String("attack", "single", "attack: none | single | cooperative")
-		verify   = flag.Bool("verify", true, "enable BlackDP verification (false = plain AODV)")
-		vehicles = flag.Int("vehicles", 100, "number of vehicles")
-		dataN    = flag.Int("data", 10, "application packets to send")
-		extra    = flag.Int("extra", 0, "additional independent black holes")
-		loss     = flag.Float64("loss", 0, "per-receiver frame loss probability")
-		evasive  = flag.Bool("evasive", false, "enable evasive attacker behaviour in clusters 8-10")
-		crypto   = flag.Bool("crypto", true, "real ECDSA signatures (false = free placeholder)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		cluster   = flag.Int("cluster", 0, "attacker cluster 1-10 (0 = random)")
+		attackS   = flag.String("attack", "single", "attack: none | single | cooperative")
+		verify    = flag.Bool("verify", true, "enable BlackDP verification (false = plain AODV)")
+		vehicles  = flag.Int("vehicles", 100, "number of vehicles")
+		dataN     = flag.Int("data", 10, "application packets to send")
+		extra     = flag.Int("extra", 0, "additional independent black holes")
+		loss      = flag.Float64("loss", 0, "per-receiver frame loss probability")
+		evasive   = flag.Bool("evasive", false, "enable evasive attacker behaviour in clusters 8-10")
+		crypto    = flag.Bool("crypto", true, "real ECDSA signatures (false = free placeholder)")
 		confPath  = flag.String("config", "", "JSON config file (flags override its values)")
 		jsonOut   = flag.Bool("json", false, "emit the outcome as JSON instead of prose")
 		tracePath = flag.String("trace", "", "write the structured event log to this file (enables tracing)")
@@ -89,15 +91,18 @@ func main() {
 		})
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	start := time.Now()
 	var (
 		o   blackdp.Outcome
 		err error
 	)
 	if *tracePath == "" {
-		o, err = blackdp.Run(cfg)
+		o, err = blackdp.Run(ctx, cfg)
 	} else {
-		o, err = runTraced(cfg, *tracePath)
+		o, err = runTraced(ctx, cfg, *tracePath)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "blackdp-sim:", err)
@@ -162,13 +167,16 @@ func main() {
 
 // runTraced runs the simulation with event recording on and dumps the
 // retained log to path.
-func runTraced(cfg blackdp.Config, path string) (blackdp.Outcome, error) {
+func runTraced(ctx context.Context, cfg blackdp.Config, path string) (blackdp.Outcome, error) {
 	cfg.Trace = true
 	w, err := blackdp.Build(cfg)
 	if err != nil {
 		return blackdp.Outcome{}, err
 	}
-	o := w.Run()
+	o, err := w.RunContext(ctx)
+	if err != nil {
+		return blackdp.Outcome{}, err
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return blackdp.Outcome{}, err

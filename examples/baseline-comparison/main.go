@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,7 +22,7 @@ func main() {
 	fmt.Println("Regime 1: dense highway, aggressive attacker, 10 runs")
 	cfg := blackdp.DefaultConfig()
 	cfg.Seed = 2
-	scores, err := blackdp.CompareDetectors(cfg, 10)
+	scores, err := blackdp.CompareDetectors(context.Background(), cfg, 10)
 	if err != nil {
 		log.Fatal(err)
 	}

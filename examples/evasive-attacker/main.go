@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,7 +23,7 @@ func main() {
 		cfg.Seed = int64(1000 * cl)
 		cfg.AttackerCluster = cl
 		cfg.EvasiveClusters = []int{8, 9, 10}
-		outcomes, err := blackdp.RunMany(cfg, reps, nil)
+		outcomes, err := blackdp.Sweep(context.Background(), cfg, reps)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,7 +16,7 @@ func main() {
 	cfg.Seed = 42
 	cfg.AttackerCluster = 3
 
-	outcome, err := blackdp.Run(cfg)
+	outcome, err := blackdp.Run(context.Background(), cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -35,7 +36,7 @@ func main() {
 	// The undefended baseline on the very same world: plain AODV trusts the
 	// forged route and every packet dies in the black hole.
 	cfg.Vehicle.Verify = false
-	plain, err := blackdp.Run(cfg)
+	plain, err := blackdp.Run(context.Background(), cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

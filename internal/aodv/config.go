@@ -140,6 +140,10 @@ type DiscoverResult struct {
 
 // Callbacks are the router's upcalls into the owning agent. All fields are
 // optional.
+//
+// Packet pointers handed to callbacks are only valid for the duration of the
+// call: hot receive paths decode into reused scratch records. Callbacks that
+// need a packet later must copy the value.
 type Callbacks struct {
 	// DataReceived fires when a Data packet addressed to this node arrives.
 	DataReceived func(d *wire.Data, from wire.NodeID)

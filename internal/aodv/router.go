@@ -38,8 +38,26 @@ type Router struct {
 	dataSeq    uint32
 	stats      Stats
 	stopped    bool
-	helloTimer *sim.Timer
-	maintTimer *sim.Timer
+	helloTimer sim.Timer
+	maintTimer sim.Timer
+
+	// Reusable callbacks and scratch for the hot paths: the beacon and
+	// maintenance closures are built once, forwarded RREQs ride pooled
+	// records through AfterFunc, and the beacon packet and stale-neighbour
+	// list are reused across rounds.
+	helloFn      func()
+	maintFn      func()
+	fwdFn        func(any)
+	fwdFree      []*wire.RREQ
+	helloPkt     wire.Hello
+	staleScratch []wire.NodeID
+
+	// Receive-side scratch records for HandleFrame's fast paths. Safe
+	// because frame handling never nests (deliveries are scheduler events)
+	// and no handler or callback retains these kinds past the call.
+	scratchHello wire.Hello
+	scratchRREQ  wire.RREQ
+	scratchRERR  wire.RERR
 }
 
 type pendingDiscovery struct {
@@ -47,7 +65,7 @@ type pendingDiscovery struct {
 	candidates []Candidate
 	attempts   int
 	done       func(DiscoverResult)
-	timer      *sim.Timer
+	timer      sim.Timer
 	wantNext   bool
 	ttl        uint8
 }
@@ -61,7 +79,7 @@ func New(cfg Config, sched *sim.Scheduler, rng *sim.RNG, link Link, seal Sealer,
 	if seal == nil {
 		seal = func(p wire.Packet) ([]byte, error) { return p.MarshalBinary() }
 	}
-	return &Router{
+	r := &Router{
 		cfg:       cfg.withDefaults(),
 		sched:     sched,
 		rng:       rng,
@@ -71,6 +89,10 @@ func New(cfg Config, sched *sim.Scheduler, rng *sim.RNG, link Link, seal Sealer,
 		table:     newTable(),
 		discovery: make(map[wire.NodeID]*pendingDiscovery),
 	}
+	r.helloFn = r.helloRound
+	r.maintFn = r.maintenanceRound
+	r.fwdFn = r.forwardRREQ
+	return r
 }
 
 // Start begins Hello beaconing and background maintenance.
@@ -158,39 +180,50 @@ func (r *Router) PurgeNode(id wire.NodeID) {
 
 func (r *Router) scheduleHello() {
 	delay := r.cfg.HelloInterval + r.rng.Jitter(r.cfg.HelloJitter)
-	r.helloTimer = r.sched.After(delay, func() {
-		if r.stopped {
-			return
-		}
-		r.sendBare(wire.Broadcast, &wire.Hello{Origin: r.link.NodeID(), Dest: wire.Broadcast})
-		r.stats.BeaconsSent++
-		r.scheduleHello()
-	})
+	r.helloTimer = r.sched.After(delay, r.helloFn)
+}
+
+// helloRound is the reusable beacon callback: one broadcast, then reschedule.
+func (r *Router) helloRound() {
+	if r.stopped {
+		return
+	}
+	// The beacon packet is reused across rounds; Origin is refreshed because
+	// certificate renewal changes the node's pseudonym.
+	r.helloPkt = wire.Hello{Origin: r.link.NodeID(), Dest: wire.Broadcast}
+	r.sendBare(wire.Broadcast, &r.helloPkt)
+	r.stats.BeaconsSent++
+	r.scheduleHello()
 }
 
 func (r *Router) scheduleMaintenance() {
-	r.maintTimer = r.sched.After(r.cfg.MaintenanceInterval, func() {
-		if r.stopped {
-			return
-		}
-		now := r.sched.Now()
-		stale := r.table.staleNeighbors(now, r.cfg.NeighborTimeout)
-		var unreachable []wire.UnreachableDest
-		for _, n := range stale {
-			for _, broken := range r.table.invalidateVia(n) {
-				unreachable = append(unreachable, wire.UnreachableDest{Node: broken.Dest, Seq: broken.Seq})
-				if r.cb.RouteBroken != nil {
-					r.cb.RouteBroken(broken.Dest)
-				}
+	r.maintTimer = r.sched.After(r.cfg.MaintenanceInterval, r.maintFn)
+}
+
+// maintenanceRound is the reusable maintenance callback: expire silent
+// neighbours, advertise the routes that died with them, prune caches, and
+// reschedule.
+func (r *Router) maintenanceRound() {
+	if r.stopped {
+		return
+	}
+	now := r.sched.Now()
+	r.staleScratch = r.table.appendStale(r.staleScratch[:0], now, r.cfg.NeighborTimeout)
+	var unreachable []wire.UnreachableDest
+	for _, n := range r.staleScratch {
+		for _, broken := range r.table.invalidateVia(n) {
+			unreachable = append(unreachable, wire.UnreachableDest{Node: broken.Dest, Seq: broken.Seq})
+			if r.cb.RouteBroken != nil {
+				r.cb.RouteBroken(broken.Dest)
 			}
 		}
-		if len(unreachable) > 0 {
-			r.sendBare(wire.Broadcast, &wire.RERR{Reporter: r.link.NodeID(), Unreachable: unreachable})
-			r.stats.RERRSent++
-		}
-		r.table.prune(now, r.cfg.FloodCacheTTL)
-		r.scheduleMaintenance()
-	})
+	}
+	if len(unreachable) > 0 {
+		r.sendBare(wire.Broadcast, &wire.RERR{Reporter: r.link.NodeID(), Unreachable: unreachable})
+		r.stats.RERRSent++
+	}
+	r.table.prune(now, r.cfg.FloodCacheTTL)
+	r.scheduleMaintenance()
 }
 
 // DiscoverOption tunes a single route discovery.
@@ -373,10 +406,56 @@ func (r *Router) linkBroken(nextHop wire.NodeID) {
 
 // HandleFrame is the router's receive entry point. The owning node wires its
 // radio receiver here (possibly through an interception layer).
+//
+// The dominant bare kinds take a kind-peek fast path: Hello, RREQ and RERR
+// decode into router-owned scratch records (their handlers and callbacks
+// never retain the packet), RREP and Data into a fresh typed record. Secure
+// envelopes and everything else go through the generic decoder. Handlers
+// observe exactly the packets they always did, in the same order.
 func (r *Router) HandleFrame(f radio.Frame) {
 	if r.stopped {
 		return
 	}
+	switch f.Kind() {
+	case wire.KindHello:
+		if r.scratchHello.UnmarshalBinary(f.Payload) != nil {
+			return
+		}
+		r.table.heard(f.From, r.sched.Now())
+		r.handleHello(&r.scratchHello, nil, f)
+		return
+	case wire.KindRREQ:
+		if r.scratchRREQ.UnmarshalBinary(f.Payload) != nil {
+			return
+		}
+		r.table.heard(f.From, r.sched.Now())
+		r.handleRREQ(&r.scratchRREQ, f.From)
+		return
+	case wire.KindRERR:
+		if r.scratchRERR.UnmarshalBinary(f.Payload) != nil {
+			return
+		}
+		r.table.heard(f.From, r.sched.Now())
+		r.handleRERR(&r.scratchRERR)
+		return
+	case wire.KindRREP:
+		p := new(wire.RREP)
+		if p.UnmarshalBinary(f.Payload) != nil {
+			return
+		}
+		r.table.heard(f.From, r.sched.Now())
+		r.handleRREP(p, nil, f, f.Payload)
+		return
+	case wire.KindData:
+		p := new(wire.Data)
+		if p.UnmarshalBinary(f.Payload) != nil {
+			return
+		}
+		r.table.heard(f.From, r.sched.Now())
+		r.handleData(p, f)
+		return
+	}
+
 	pkt, err := wire.Decode(f.Payload)
 	if err != nil {
 		return // corrupt or foreign frame; ignore like real radios do
@@ -459,20 +538,39 @@ func (r *Router) handleRREQ(p *wire.RREQ, from wire.NodeID) {
 		r.stats.RREPOriginated++
 		return
 	}
-	// Rebroadcast with decremented TTL after a short contention jitter.
+	// Rebroadcast with decremented TTL after a short contention jitter. The
+	// pending copy rides a pooled record through the shared forward callback
+	// instead of a per-flood closure.
 	if p.TTL <= 1 {
 		return
 	}
-	fwd := *p
+	fwd := r.getFwd()
+	*fwd = *p
 	fwd.TTL--
 	fwd.HopCount++
-	r.sched.After(r.rng.Jitter(r.cfg.ForwardJitter), func() {
-		if r.stopped {
-			return
-		}
-		r.sendBare(wire.Broadcast, &fwd)
+	r.sched.AfterFunc(r.rng.Jitter(r.cfg.ForwardJitter), r.fwdFn, fwd)
+}
+
+// getFwd takes a pooled RREQ record for a pending rebroadcast.
+func (r *Router) getFwd() *wire.RREQ {
+	if n := len(r.fwdFree); n > 0 {
+		p := r.fwdFree[n-1]
+		r.fwdFree[n-1] = nil
+		r.fwdFree = r.fwdFree[:n-1]
+		return p
+	}
+	return &wire.RREQ{}
+}
+
+// forwardRREQ is the shared rebroadcast callback; it recycles its record.
+func (r *Router) forwardRREQ(a any) {
+	p := a.(*wire.RREQ)
+	if !r.stopped {
+		r.sendBare(wire.Broadcast, p)
 		r.stats.RREQForwarded++
-	})
+	}
+	*p = wire.RREQ{}
+	r.fwdFree = append(r.fwdFree, p)
 }
 
 func (r *Router) handleRREP(p *wire.RREP, env *wire.Secure, f radio.Frame, raw []byte) {

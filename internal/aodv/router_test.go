@@ -40,9 +40,9 @@ func newTestNet(t testing.TB, cfg Config, xs ...float64) *testNet {
 	for i, x := range xs {
 		id := wire.NodeID(i + 1)
 		loc := mobility.Static{Pos: mobility.Position{X: x, Y: 100}, H: h}
-		router := new(Router)
+		var router *Router
 		ifc := net.medium.Attach(id, loc, func(f radio.Frame) { router.HandleFrame(f) })
-		*router = *New(cfg, sched, rng.Split(id.String()), ifc, nil, Callbacks{})
+		router = New(cfg, sched, rng.Split(id.String()), ifc, nil, Callbacks{})
 		router.Start()
 		net.routers[id] = router
 		net.ifcs[id] = ifc
@@ -221,7 +221,8 @@ func TestHelloProbeEndToEnd(t *testing.T) {
 
 	var probed *wire.Hello
 	net.router(4).cb.HelloProbe = func(h *wire.Hello, env *wire.Secure, from wire.NodeID) {
-		probed = h
+		cp := *h // h is only valid during the callback
+		probed = &cp
 		// Reply along the learned reverse route.
 		rep := &wire.Hello{Origin: 4, Dest: h.Origin, Nonce: h.Nonce, Reply: true}
 		b, _ := rep.MarshalBinary()
@@ -232,7 +233,8 @@ func TestHelloProbeEndToEnd(t *testing.T) {
 	var reply *wire.Hello
 	net.router(1).cb.HelloProbe = func(h *wire.Hello, env *wire.Secure, from wire.NodeID) {
 		if h.Reply {
-			reply = h
+			cp := *h
+			reply = &cp
 		}
 	}
 

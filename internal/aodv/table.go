@@ -123,17 +123,17 @@ func (t *table) heard(n wire.NodeID, now time.Duration) {
 	t.neighbors[n] = now
 }
 
-// staleNeighbors returns neighbours silent past the timeout and forgets
-// them.
-func (t *table) staleNeighbors(now, timeout time.Duration) []wire.NodeID {
-	var stale []wire.NodeID
+// appendStale appends neighbours silent past the timeout to dst and forgets
+// them, returning the extended slice so the caller can reuse one scratch
+// buffer across maintenance rounds.
+func (t *table) appendStale(dst []wire.NodeID, now, timeout time.Duration) []wire.NodeID {
 	for n, last := range t.neighbors {
 		if now-last >= timeout {
-			stale = append(stale, n)
+			dst = append(dst, n)
 			delete(t.neighbors, n)
 		}
 	}
-	return stale
+	return dst
 }
 
 // seenFlood records a flood identifier, reporting whether it was already

@@ -172,6 +172,42 @@ func (b *Blackhole) HandleFrame(f radio.Frame) {
 		b.env.Inner(f)
 		return
 	}
+	// Kind peek: the attacker only interposes on route requests, data and
+	// probes. Other bare kinds pass straight through to the legitimate
+	// stack without a wasted decode; the hostile kinds decode into stack
+	// values (their handlers never retain the packet).
+	switch f.Kind() {
+	case wire.KindRREQ:
+		var p wire.RREQ
+		if p.UnmarshalBinary(f.Payload) != nil {
+			return
+		}
+		b.handleRREQ(&p, f)
+		return
+	case wire.KindHello:
+		var p wire.Hello
+		if p.UnmarshalBinary(f.Payload) != nil {
+			return
+		}
+		b.handleHello(&p, f)
+		return
+	case wire.KindData:
+		var p wire.Data
+		if p.UnmarshalBinary(f.Payload) != nil {
+			return
+		}
+		b.handleData(&p, f)
+		return
+	case wire.KindSecure:
+		// Sealed traffic may wrap a hostile kind; fall through to the
+		// generic decode below.
+	default:
+		if !f.Kind().Valid() {
+			return // corrupt or foreign frame, dropped as before
+		}
+		b.env.Inner(f)
+		return
+	}
 	pkt, err := wire.Decode(f.Payload)
 	if err != nil {
 		return
@@ -187,24 +223,28 @@ func (b *Blackhole) HandleFrame(f radio.Frame) {
 	case *wire.RREQ:
 		b.handleRREQ(p, f)
 	case *wire.Data:
-		if p.Dest == b.env.Self() {
-			// Traffic genuinely for the attacker is consumed normally.
-			b.env.Inner(f)
-			return
-		}
-		if p := b.profile.DropProb; p > 0 && p < 1 && !b.env.RNG.Bool(p) {
-			// Gray hole leniency: let this one through the normal stack
-			// (which forwards it only if a genuine route exists).
-			b.stats.DataForwardedAnyway++
-			b.env.Inner(f)
-			return
-		}
-		b.stats.DataDropped++ // the black hole: attracted traffic vanishes
+		b.handleData(p, f)
 	case *wire.Hello:
 		b.handleHello(p, f)
 	default:
 		b.env.Inner(f)
 	}
+}
+
+func (b *Blackhole) handleData(p *wire.Data, f radio.Frame) {
+	if p.Dest == b.env.Self() {
+		// Traffic genuinely for the attacker is consumed normally.
+		b.env.Inner(f)
+		return
+	}
+	if p := b.profile.DropProb; p > 0 && p < 1 && !b.env.RNG.Bool(p) {
+		// Gray hole leniency: let this one through the normal stack
+		// (which forwards it only if a genuine route exists).
+		b.stats.DataForwardedAnyway++
+		b.env.Inner(f)
+		return
+	}
+	b.stats.DataDropped++ // the black hole: attracted traffic vanishes
 }
 
 func (b *Blackhole) evasive() bool {

@@ -36,10 +36,15 @@ type Client struct {
 	unanswered int  // consecutive join broadcasts without a reply
 	failover   bool // soliciting adjacent heads because ours stopped answering
 
-	retryTimer    *sim.Timer
-	boundaryTimer *sim.Timer
+	retryTimer    sim.Timer
+	boundaryTimer sim.Timer
 	stopped       bool
 	stats         ClientStats
+
+	// Reusable timer callbacks: built once so rescheduling join retries and
+	// boundary crossings does not allocate a method value per event.
+	requestJoinFn   func()
+	crossBoundaryFn func()
 }
 
 // ClientStats counts membership client activity.
@@ -64,7 +69,7 @@ func NewClient(sched *sim.Scheduler, highway *mobility.Highway, mobile *mobility
 	if sched == nil || highway == nil || mobile == nil || send == nil || self == nil {
 		panic("cluster: NewClient requires scheduler, highway, mobile, sender and identity")
 	}
-	return &Client{
+	c := &Client{
 		sched:     sched,
 		highway:   highway,
 		mobile:    mobile,
@@ -74,6 +79,9 @@ func NewClient(sched *sim.Scheduler, highway *mobility.Highway, mobile *mobility
 		cb:        cb,
 		blacklist: make(map[wire.NodeID]wire.RevokedCert),
 	}
+	c.requestJoinFn = c.requestJoin
+	c.crossBoundaryFn = c.crossBoundary
+	return c
 }
 
 // Start broadcasts the initial join request.
@@ -133,7 +141,7 @@ func (c *Client) requestJoin() {
 	c.stats.JoinRequests++
 	c.unanswered++
 	c.retryTimer.Stop()
-	c.retryTimer = c.sched.After(joinRetry, c.requestJoin)
+	c.retryTimer = c.sched.After(joinRetry, c.requestJoinFn)
 }
 
 // Rejoin deregisters and immediately solicits a new head with the failover
@@ -224,7 +232,7 @@ func (c *Client) scheduleBoundaryCrossing() {
 	if at < c.sched.Now() {
 		at = c.sched.Now()
 	}
-	c.boundaryTimer = c.sched.At(at, c.crossBoundary)
+	c.boundaryTimer = c.sched.At(at, c.crossBoundaryFn)
 }
 
 func (c *Client) crossBoundary() {

@@ -285,7 +285,7 @@ func newClientHarness(t *testing.T, startX float64, speed float64, dir mobility.
 		t.Fatal(err)
 	}
 	ch.mobile = mob
-	client := new(Client)
+	var client *Client
 	ifc := medium.Attach(21, mob, func(f radio.Frame) {
 		p, err := wire.Decode(f.Payload)
 		if err != nil {
@@ -293,7 +293,7 @@ func newClientHarness(t *testing.T, startX float64, speed float64, dir mobility.
 		}
 		client.HandlePacket(p, f.From)
 	})
-	*client = *NewClient(sched, hw, mob, medium.Range(), func(to wire.NodeID, b []byte) { ifc.Send(to, b) }, ifc.NodeID, ClientCallbacks{})
+	client = NewClient(sched, hw, mob, medium.Range(), func(to wire.NodeID, b []byte) { ifc.Send(to, b) }, ifc.NodeID, ClientCallbacks{})
 	ch.client = client
 	return ch
 }

@@ -131,7 +131,7 @@ type detectionCase struct {
 	teammate   wire.NodeID
 	retries    int
 	forwards   uint8
-	timer      *sim.Timer
+	timer      sim.Timer
 }
 
 // HeadAgent is an RSU cluster head: membership, AODV relay, BlackDP
@@ -153,6 +153,7 @@ type HeadAgent struct {
 	pendingRenewals map[wire.NodeID]bool
 	verifiers       []time.Duration // per-server busy-until (head + fog nodes)
 	crashed         bool
+	pruneFn         func() // reusable prune callback (built on first schedule)
 	stats           HeadAgentStats
 }
 
@@ -206,12 +207,15 @@ func (h *HeadAgent) Start() {
 }
 
 func (h *HeadAgent) schedulePrune() {
-	h.env.Sched.After(5*time.Second, func() {
-		if !h.crashed {
-			h.memb.Prune()
+	if h.pruneFn == nil {
+		h.pruneFn = func() {
+			if !h.crashed {
+				h.memb.Prune()
+			}
+			h.schedulePrune()
 		}
-		h.schedulePrune()
-	})
+	}
+	h.env.Sched.After(5*time.Second, h.pruneFn)
 }
 
 // Crash takes the head fully offline: radio silenced, backbone port down,
@@ -299,6 +303,15 @@ func (h *HeadAgent) seal(p wire.Packet) []byte {
 // handleFrame dispatches radio frames: membership and detection packets are
 // the head's own; AODV traffic goes to the router.
 func (h *HeadAgent) handleFrame(f radio.Frame) {
+	switch f.Kind() {
+	case wire.KindRREQ, wire.KindRREP, wire.KindRERR, wire.KindHello, wire.KindData:
+		// Relay traffic dominates; skip the generic decode and let the
+		// router's typed fast paths handle it. The sender still counts as
+		// alive for membership purposes, exactly as before.
+		h.memb.Touch(f.From)
+		h.router.HandleFrame(f)
+		return
+	}
 	pkt, err := wire.Decode(f.Payload)
 	if err != nil {
 		return

@@ -153,13 +153,13 @@ type verification struct {
 	excluded map[wire.NodeID]bool
 	suspect  *aodv.Candidate
 	nonce    uint64
-	timer    *sim.Timer
+	timer    sim.Timer
 	minSeq   wire.SeqNum
 
 	// d_req retransmission state, live once fileReport runs.
 	dreq       *wire.DetectReq // the filed report; Nonce stays fixed across resends
 	attempts   int             // sends so far in the current head registration
-	retryTimer *sim.Timer
+	retryTimer sim.Timer
 	failedOver bool // already rejoined once over this report
 }
 
@@ -279,6 +279,14 @@ func (v *VehicleAgent) seal(p wire.Packet) []byte {
 // HandleFrame is the radio receive entry point (the attack layer wraps it
 // for hostile vehicles).
 func (v *VehicleAgent) HandleFrame(f radio.Frame) {
+	switch f.Kind() {
+	case wire.KindRREQ, wire.KindRREP, wire.KindRERR, wire.KindHello, wire.KindData:
+		// Bare routing traffic is the bulk of what a vehicle hears; the
+		// kind peek hands it straight to the router without a wasted decode
+		// (the router runs its own typed fast paths).
+		v.router.HandleFrame(f)
+		return
+	}
 	pkt, err := wire.Decode(f.Payload)
 	if err != nil {
 		return

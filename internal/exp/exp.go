@@ -90,6 +90,27 @@ type Options struct {
 // count. A panic inside fn fails only that replication (reported as a
 // *PanicError). Cancelling ctx stops the sweep early with ctx.Err().
 func Map[T any](ctx context.Context, reps int, opt Options, fn func(ctx context.Context, rep int) (T, error)) ([]T, error) {
+	return MapScratch(ctx, reps, opt,
+		func(int) struct{} { return struct{}{} },
+		func(ctx context.Context, rep int, _ struct{}) (T, error) { return fn(ctx, rep) })
+}
+
+// MapScratch is Map with per-worker scratch state. newScratch is called once
+// per worker goroutine — with the worker's index, before that worker runs its
+// first replication — and the value it returns is threaded into every fn call
+// the worker executes. Scratch is the engine's hook for allocation reuse:
+// event pools, RNG state, outcome accumulators and decode buffers can be
+// built once per worker and recycled across replications instead of once per
+// replication.
+//
+// The determinism contract is unchanged — and it is exactly why scratch is
+// per-worker rather than per-replication: fn must produce the same result
+// for a given rep no matter which worker (and therefore which scratch value)
+// runs it, so scratch may only carry state whose contents never leak into
+// results (free lists, buffers reset per use). Worker indexes exist only to
+// let newScratch size or label state; they carry no scheduling guarantee.
+// With Workers == 1 a single scratch (worker 0) serves the whole serial loop.
+func MapScratch[S, T any](ctx context.Context, reps int, opt Options, newScratch func(worker int) S, fn func(ctx context.Context, rep int, scratch S) (T, error)) ([]T, error) {
 	if reps <= 0 {
 		return nil, nil
 	}
@@ -103,11 +124,12 @@ func Map[T any](ctx context.Context, reps int, opt Options, fn func(ctx context.
 
 	results := make([]T, reps)
 	if workers == 1 {
+		scratch := newScratch(0)
 		for rep := 0; rep < reps; rep++ {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			out, err := runRep(ctx, rep, opt, fn)
+			out, err := runRep(ctx, rep, opt, scratch, fn)
 			if opt.OnRep != nil {
 				opt.OnRep(rep, err)
 			}
@@ -132,8 +154,9 @@ func Map[T any](ctx context.Context, reps int, opt Options, fn func(ctx context.
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
+			scratch := newScratch(worker)
 			for {
 				mu.Lock()
 				rep := next
@@ -142,7 +165,7 @@ func Map[T any](ctx context.Context, reps int, opt Options, fn func(ctx context.
 				if rep >= reps || ctx.Err() != nil {
 					return
 				}
-				out, err := runRep(ctx, rep, opt, fn)
+				out, err := runRep(ctx, rep, opt, scratch, fn)
 				mu.Lock()
 				if opt.OnRep != nil {
 					opt.OnRep(rep, err) // under mu: serialised with Progress
@@ -164,7 +187,7 @@ func Map[T any](ctx context.Context, reps int, opt Options, fn func(ctx context.
 				}
 				mu.Unlock()
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
@@ -178,7 +201,7 @@ func Map[T any](ctx context.Context, reps int, opt Options, fn func(ctx context.
 
 // runRep invokes fn for one replication, converting a panic into a
 // *PanicError carrying the replication's index and seed.
-func runRep[T any](ctx context.Context, rep int, opt Options, fn func(ctx context.Context, rep int) (T, error)) (out T, err error) {
+func runRep[S, T any](ctx context.Context, rep int, opt Options, scratch S, fn func(ctx context.Context, rep int, scratch S) (T, error)) (out T, err error) {
 	defer func() {
 		if v := recover(); v != nil {
 			pe := &PanicError{Rep: rep, Value: v, Stack: debug.Stack()}
@@ -188,5 +211,5 @@ func runRep[T any](ctx context.Context, rep int, opt Options, fn func(ctx contex
 			err = pe
 		}
 	}()
-	return fn(ctx, rep)
+	return fn(ctx, rep, scratch)
 }

@@ -197,7 +197,7 @@ func TestMapProgress(t *testing.T) {
 
 func TestMapOnRepSeesEveryReplicationOnce(t *testing.T) {
 	for _, workers := range []int{1, 4} {
-		seen := map[int]int{}   // rep -> calls; OnRep is serialised, no lock
+		seen := map[int]int{} // rep -> calls; OnRep is serialised, no lock
 		failures := map[int]bool{}
 		_, err := Map(context.Background(), 24, Options{
 			Workers: workers,
@@ -255,5 +255,107 @@ func TestSeedIsOrderIndependentAndLabelled(t *testing.T) {
 func TestDefaultWorkersPositive(t *testing.T) {
 	if DefaultWorkers() < 1 {
 		t.Fatalf("DefaultWorkers() = %d", DefaultWorkers())
+	}
+}
+
+// TestMapScratchOnePerWorker pins the scratch lifecycle: newScratch runs
+// exactly once per worker goroutine, each worker's replications all see the
+// same scratch value, and no worker sees another worker's scratch.
+func TestMapScratchOnePerWorker(t *testing.T) {
+	const reps, workers = 32, 4
+	var (
+		mu     sync.Mutex
+		made   []int           // worker indexes newScratch was called with
+		usedBy = map[int]int{} // scratch worker index -> replication count
+	)
+	type scratch struct{ worker int }
+	_, err := MapScratch(context.Background(), reps, Options{Workers: workers},
+		func(worker int) *scratch {
+			mu.Lock()
+			made = append(made, worker)
+			mu.Unlock()
+			return &scratch{worker: worker}
+		},
+		func(_ context.Context, rep int, s *scratch) (int, error) {
+			mu.Lock()
+			usedBy[s.worker]++
+			mu.Unlock()
+			return rep, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(made) != workers {
+		t.Fatalf("newScratch called %d times, want once per worker (%d)", len(made), workers)
+	}
+	sort.Ints(made)
+	if !reflect.DeepEqual(made, []int{0, 1, 2, 3}) {
+		t.Errorf("newScratch saw worker indexes %v, want [0 1 2 3]", made)
+	}
+	total := 0
+	for _, n := range usedBy {
+		total += n
+	}
+	if total != reps {
+		t.Errorf("replications executed with a scratch = %d, want %d", total, reps)
+	}
+}
+
+// TestMapScratchSerialReuse checks Workers == 1 builds a single scratch
+// (worker 0) and threads it through every replication of the serial loop.
+func TestMapScratchSerialReuse(t *testing.T) {
+	calls := 0
+	var seen []*int
+	results, err := MapScratch(context.Background(), 5, Options{Workers: 1},
+		func(worker int) *int {
+			calls++
+			if worker != 0 {
+				t.Errorf("serial scratch built for worker %d, want 0", worker)
+			}
+			return new(int)
+		},
+		func(_ context.Context, rep int, s *int) (int, error) {
+			seen = append(seen, s)
+			*s++
+			return *s, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("newScratch called %d times, want 1", calls)
+	}
+	for i := 1; i < len(seen); i++ {
+		if seen[i] != seen[0] {
+			t.Fatal("serial replications did not share one scratch")
+		}
+	}
+	if !reflect.DeepEqual(results, []int{1, 2, 3, 4, 5}) {
+		t.Errorf("results = %v (scratch state should persist across reps)", results)
+	}
+}
+
+// TestMapScratchPanicCarriesAttribution mirrors Map's panic contract through
+// the scratch-aware path.
+func TestMapScratchPanicCarriesAttribution(t *testing.T) {
+	_, err := MapScratch(context.Background(), 3, Options{
+		Workers: 2,
+		SeedOf:  func(rep int) int64 { return 100 + int64(rep) },
+	},
+		func(int) struct{} { return struct{}{} },
+		func(_ context.Context, rep int, _ struct{}) (int, error) {
+			if rep == 2 {
+				panic("boom")
+			}
+			return rep, nil
+		})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error = %v, want *PanicError", err)
+	}
+	if pe.Rep != 2 || pe.Seed != 102 {
+		t.Errorf("panic attributed to rep %d seed %d, want rep 2 seed 102", pe.Rep, pe.Seed)
 	}
 }

@@ -118,6 +118,20 @@ type Medium struct {
 
 	devices []*Interface
 	stats   Stats
+
+	// deliver is the single scheduler callback shared by every in-flight
+	// frame copy; per-copy state travels in pooled delivery records, so the
+	// per-frame broadcast path allocates nothing once the pool is warm.
+	deliver func(any)
+	freeDel []*delivery
+}
+
+// delivery is one frame copy in flight toward one receiver. Records are
+// pooled on the medium and reused; all scheduling runs on the simulation
+// goroutine, so a plain free list suffices.
+type delivery struct {
+	dev   *Interface
+	frame Frame
 }
 
 // propagationSpeed is the signal speed in m/s.
@@ -139,7 +153,28 @@ func NewMedium(sched *sim.Scheduler, rng *sim.RNG, opts ...Option) *Medium {
 	for _, opt := range opts {
 		opt(m)
 	}
+	m.deliver = m.deliverCopy
 	return m
+}
+
+// getDelivery takes a record from the free list (or allocates the pool's
+// first few).
+func (m *Medium) getDelivery(dev *Interface, frame Frame) *delivery {
+	if n := len(m.freeDel); n > 0 {
+		d := m.freeDel[n-1]
+		m.freeDel[n-1] = nil
+		m.freeDel = m.freeDel[:n-1]
+		d.dev, d.frame = dev, frame
+		return d
+	}
+	return &delivery{dev: dev, frame: frame}
+}
+
+// putDelivery clears a record and returns it to the free list.
+func (m *Medium) putDelivery(d *delivery) {
+	d.dev = nil
+	d.frame = Frame{}
+	m.freeDel = append(m.freeDel, d)
 }
 
 // Range returns the shared transmission range in metres.
@@ -278,16 +313,27 @@ func (m *Medium) offerCopy(dev *Interface, frame Frame, txDelay time.Duration, d
 		delay += m.rng.Jitter(m.reorderMax)
 	}
 	m.stats.InFlightFrames++
-	m.sched.After(delay, func() {
-		m.stats.InFlightFrames--
-		if !dev.active(m.sched.Now()) {
-			m.stats.count(&m.stats.LostFrames, payload, len(payload))
-			return
-		}
-		m.stats.count(&m.stats.DeliveredFrames, payload, len(payload))
-		dev.recv(frame)
-	})
+	m.sched.AfterFunc(delay, m.deliver, m.getDelivery(dev, frame))
 	return true
+}
+
+// deliverCopy is the shared arrival callback for every in-flight frame copy.
+// It settles the conservation ledger (delivered or lost), hands the frame to
+// the receiver, and recycles the delivery record — after recv returns, so a
+// re-entrant Send inside the receiver draws fresh records.
+func (m *Medium) deliverCopy(a any) {
+	d := a.(*delivery)
+	dev, frame := d.dev, d.frame
+	payload := frame.Payload
+	m.stats.InFlightFrames--
+	if !dev.active(m.sched.Now()) {
+		m.stats.count(&m.stats.LostFrames, payload, len(payload))
+		m.putDelivery(d)
+		return
+	}
+	m.stats.count(&m.stats.DeliveredFrames, payload, len(payload))
+	dev.recv(frame)
+	m.putDelivery(d)
 }
 
 // dropCopy draws one loss decision: uniform by default, Gilbert–Elliott when
@@ -315,22 +361,28 @@ func (m *Medium) dropCopy() bool {
 // range of i, in attach order. Intended for tests and diagnostics; protocol
 // code should discover neighbours with Hello beacons.
 func (i *Interface) Neighbors() []wire.NodeID {
+	return i.AppendNeighbors(nil)
+}
+
+// AppendNeighbors appends the pseudonyms of all active in-range devices to
+// dst and returns the extended slice, so a caller polling repeatedly can
+// reuse one scratch buffer (dst[:0]) instead of allocating per poll.
+func (i *Interface) AppendNeighbors(dst []wire.NodeID) []wire.NodeID {
 	m := i.medium
 	now := m.sched.Now()
 	if !i.active(now) {
-		return nil
+		return dst
 	}
 	src := i.loc.PositionAt(now)
-	var out []wire.NodeID
 	for _, dev := range m.devices {
 		if dev == i || !dev.active(now) {
 			continue
 		}
 		if src.DistanceTo(dev.loc.PositionAt(now)) <= m.txRange {
-			out = append(out, dev.id)
+			dst = append(dst, dev.id)
 		}
 	}
-	return out
+	return dst
 }
 
 // Stats aggregates channel counters. Frame counters are per transmission

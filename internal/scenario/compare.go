@@ -67,16 +67,20 @@ type compareEvidence struct {
 func CompareDetectorsSweep(ctx context.Context, cfg Config, reps int, opt SweepOptions) ([]DetectorScore, error) {
 	cfg = cfg.withDefaults()
 	seedOf := func(rep int) int64 { return cfg.Seed + int64(rep)*104729 }
-	evidence, err := exp.Map(ctx, reps, exp.Options{
+	evidence, err := exp.MapScratch(ctx, reps, exp.Options{
 		Workers:  opt.Workers,
 		SeedOf:   seedOf,
 		Progress: opt.Progress,
-	}, func(_ context.Context, rep int) (compareEvidence, error) {
+	}, func(int) *sim.EventPool {
+		return sim.NewEventPool()
+	}, func(ctx context.Context, rep int, pool *sim.EventPool) (compareEvidence, error) {
 		runCfg := cfg
 		runCfg.Seed = seedOf(rep)
 
-		// Raw discovery view for the sequence-number heuristics.
-		w, err := Build(runCfg)
+		// Raw discovery view for the sequence-number heuristics. The two
+		// worlds of one replication run back to back on this worker, so they
+		// share its event pool.
+		w, err := buildPooled(runCfg, pool)
 		if err != nil {
 			return compareEvidence{}, err
 		}
@@ -98,7 +102,7 @@ func CompareDetectorsSweep(ctx context.Context, cfg Config, reps int, opt SweepO
 		ev.candidates = got.Candidates
 
 		// BlackDP's verdict on an identical world.
-		o, err := Run(runCfg)
+		o, err := runPooled(ctx, runCfg, pool)
 		if err != nil {
 			return compareEvidence{}, err
 		}

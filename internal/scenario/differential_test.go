@@ -2,7 +2,10 @@ package scenario
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/json"
 	"errors"
+	"fmt"
 	"reflect"
 	"testing"
 	"time"
@@ -61,6 +64,37 @@ func TestRunFig4SweepParallelMatchesSerial(t *testing.T) {
 				t.Fatalf("Fig4 points diverged:\n serial   %+v\n parallel %+v", serial, parallel)
 			}
 		})
+	}
+}
+
+// fig4GoldenHash is the SHA-256 of the JSON-marshalled Fig4 sweep points for
+// the fixed configuration below, recorded BEFORE the hot-path pooling work
+// (event records, radio deliveries, codec scratch, per-worker reuse). The
+// pools recycle memory but must never change event ordering or RNG draws, so
+// the sweep output has to stay byte-identical across that refactor and any
+// future one. If this test fails, a "performance" change altered simulation
+// behaviour — that is a correctness bug, not a baseline to re-record.
+const fig4GoldenHash = "30ca4f6ead11fe302a37ba22981ba074a8d9fe64dd14597a4e9cb3eee4b0b222"
+
+func TestFig4SweepGoldenHash(t *testing.T) {
+	base := DefaultConfig()
+	base.HighwayLengthM = 4000
+	base.Vehicles = 30
+	base.DataPackets = 5
+	base.MaxSimTime = 45 * time.Second
+	base.Seed = 42
+	for _, workers := range []int{1, 4} {
+		points, err := RunFig4Sweep(context.Background(), base, SingleBlackHole, 2, SweepOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(points)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := fmt.Sprintf("%x", sha256.Sum256(b)); got != fig4GoldenHash {
+			t.Errorf("workers=%d: Fig4 sweep hash = %s, want %s (simulation behaviour changed)", workers, got, fig4GoldenHash)
+		}
 	}
 }
 

@@ -365,12 +365,14 @@ func RunFig4Sweep(ctx context.Context, base Config, kind AttackKind, reps int, o
 			cfgs[(c-1)*reps+rep] = cfg
 		}
 	}
-	outcomes, err := exp.Map(ctx, len(cfgs), exp.Options{
+	outcomes, err := exp.MapScratch(ctx, len(cfgs), exp.Options{
 		Workers:  opt.Workers,
 		SeedOf:   func(i int) int64 { return cfgs[i].Seed },
 		Progress: opt.Progress,
-	}, func(_ context.Context, i int) (metrics.Outcome, error) {
-		return Run(cfgs[i])
+	}, func(int) *sim.EventPool {
+		return sim.NewEventPool()
+	}, func(ctx context.Context, i int, pool *sim.EventPool) (metrics.Outcome, error) {
+		return runPooled(ctx, cfgs[i], pool)
 	})
 	if err != nil {
 		return nil, err

@@ -69,6 +69,15 @@ func (h *Hostile) detectedIn(t *core.Tally) bool {
 
 // Build constructs the world for cfg without running it.
 func Build(cfg Config) (*World, error) {
+	return buildPooled(cfg, nil)
+}
+
+// buildPooled is Build with a shared event pool for the scheduler. Sweep
+// workers pass their per-worker pool so consecutive replications reuse one
+// warmed free list; a nil pool gives the scheduler a private pool, which is
+// exactly Build. Pooling must stay invisible to outcomes — the differential
+// and golden-hash tests in this package enforce that.
+func buildPooled(cfg Config, pool *sim.EventPool) (*World, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -78,7 +87,7 @@ func Build(cfg Config) (*World, error) {
 		return nil, err
 	}
 	rng := sim.NewRNG(cfg.Seed)
-	sched := sim.NewScheduler()
+	sched := sim.NewSchedulerWithPool(pool)
 
 	var scheme pki.Scheme = pki.Insecure{}
 	if cfg.RealCrypto {
@@ -591,7 +600,13 @@ func Run(cfg Config) (metrics.Outcome, error) {
 
 // RunContext is Run with cooperative cancellation (see World.RunContext).
 func RunContext(ctx context.Context, cfg Config) (metrics.Outcome, error) {
-	w, err := Build(cfg)
+	return runPooled(ctx, cfg, nil)
+}
+
+// runPooled builds and executes one replication against a (possibly shared)
+// event pool. See buildPooled for the pooling contract.
+func runPooled(ctx context.Context, cfg Config, pool *sim.EventPool) (metrics.Outcome, error) {
+	w, err := buildPooled(cfg, pool)
 	if err != nil {
 		return metrics.Outcome{}, err
 	}
@@ -637,12 +652,14 @@ func RunSweep(ctx context.Context, cfg Config, reps int, opt SweepOptions, mutat
 		}
 		cfgs[rep] = c
 	}
-	return exp.Map(ctx, reps, exp.Options{
+	return exp.MapScratch(ctx, reps, exp.Options{
 		Workers:  opt.Workers,
 		SeedOf:   func(rep int) int64 { return cfgs[rep].Seed },
 		Progress: opt.Progress,
 		OnRep:    opt.OnRep,
-	}, func(ctx context.Context, rep int) (metrics.Outcome, error) {
-		return RunContext(ctx, cfgs[rep])
+	}, func(int) *sim.EventPool {
+		return sim.NewEventPool()
+	}, func(ctx context.Context, rep int, pool *sim.EventPool) (metrics.Outcome, error) {
+		return runPooled(ctx, cfgs[rep], pool)
 	})
 }

@@ -6,16 +6,21 @@
 // the canonical config hash (scenario.Fingerprint), with single-flight
 // coalescing for requests that overlap in flight.
 //
-// Endpoints:
+// Endpoints (canonical paths are versioned under /v1; the unversioned
+// originals remain as aliases for existing clients):
 //
-//	POST /jobs            submit a job; the response is an NDJSON stream of
-//	                      accepted/progress/result lines, the final line
-//	                      being the result payload itself
-//	GET  /jobs            list retained jobs
-//	GET  /jobs/{id}       one job's status and result
-//	GET  /jobs/{id}/trace the retained event log of a trace-enabled run
-//	GET  /metrics         Prometheus text exposition
-//	GET  /healthz         liveness and drain state
+//	POST /v1/jobs            submit a job; the response is an NDJSON stream
+//	                         of accepted/progress/result lines, the final
+//	                         line being the result payload itself
+//	GET  /v1/jobs            list retained jobs
+//	GET  /v1/jobs/{id}       one job's status and result
+//	GET  /v1/jobs/{id}/trace the retained event log of a trace-enabled run
+//	GET  /v1/metrics         Prometheus text exposition
+//	GET  /v1/healthz         liveness and drain state
+//
+// Error responses (400, 404, 429, 503) carry a JSON envelope
+// {"code", "message", "retry_after_seconds"}; retry_after_seconds is only
+// present when the matching Retry-After header is set (429 and 503).
 //
 // Admission control is a bounded queue: jobs beyond Workers+QueueDepth are
 // rejected with 429 and a Retry-After header, a disconnected client cancels
@@ -162,17 +167,28 @@ func New(cfg Config) *Server {
 	s.mSeconds = s.reg.Histogram("blackdp_serve_job_seconds",
 		"Wall time per executed job.", 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60)
 
-	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
-	s.mux.HandleFunc("GET /jobs", s.handleList)
-	s.mux.HandleFunc("GET /jobs/{id}", s.handleJob)
-	s.mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	// Canonical routes live under /v1; the unversioned paths predate the
+	// versioned API and stay registered as aliases so existing clients and
+	// scripts keep working. Both prefixes resolve to the same handlers, so
+	// behaviour (and the job registry) is shared, not forked.
+	for _, prefix := range []string{"/v1", ""} {
+		s.mux.HandleFunc("POST "+prefix+"/jobs", s.handleSubmit)
+		s.mux.HandleFunc("GET "+prefix+"/jobs", s.handleList)
+		s.mux.HandleFunc("GET "+prefix+"/jobs/{id}", s.handleJob)
+		s.mux.HandleFunc("GET "+prefix+"/jobs/{id}/trace", s.handleTrace)
+		s.mux.HandleFunc("GET "+prefix+"/metrics", s.handleMetrics)
+		s.mux.HandleFunc("GET "+prefix+"/healthz", s.handleHealth)
+	}
 	return s
 }
 
 // Handler exposes the service mux (for tests and embedding).
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// SetHandler replaces the handler Serve exposes, letting callers wrap the
+// service mux (e.g. with net/http/pprof debug routes) while keeping Drain's
+// shutdown semantics. It must be called before Serve.
+func (s *Server) SetHandler(h http.Handler) { s.http.Handler = h }
 
 // Serve accepts connections on l until Drain; it returns
 // http.ErrServerClosed after a clean drain, like net/http.
@@ -198,12 +214,33 @@ type resultPayload struct {
 	Summary  metrics.Report    `json:"summary"`
 }
 
-func (s *Server) retryAfter() string {
+func (s *Server) retryAfterSeconds() int {
 	secs := int(s.cfg.RetryAfter.Round(time.Second) / time.Second)
 	if secs < 1 {
 		secs = 1
 	}
-	return strconv.Itoa(secs)
+	return secs
+}
+
+// apiError is the typed envelope of every non-2xx response: a stable
+// machine-readable code, a human-readable message, and — on responses that
+// also carry a Retry-After header — the same back-off hint as a number, so
+// clients need not parse the header.
+type apiError struct {
+	Code              string `json:"code"`
+	Message           string `json:"message"`
+	RetryAfterSeconds int    `json:"retry_after_seconds,omitempty"`
+}
+
+// writeError emits the JSON error envelope; retryAfter <= 0 omits the hint
+// and the Retry-After header.
+func writeError(w http.ResponseWriter, status int, code, message string, retryAfter int) {
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(apiError{Code: code, Message: message, RetryAfterSeconds: retryAfter})
 }
 
 func writeJSONLine(w io.Writer, v any) error {
@@ -233,18 +270,18 @@ type streamLine struct {
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		w.Header().Set("Retry-After", s.retryAfter())
-		http.Error(w, "serve: draining, not accepting jobs", http.StatusServiceUnavailable)
+		writeError(w, http.StatusServiceUnavailable, "draining",
+			"server is draining and not accepting jobs", s.retryAfterSeconds())
 		return
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
-		http.Error(w, "serve: reading request: "+err.Error(), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "bad_request", "reading request: "+err.Error(), 0)
 		return
 	}
 	spec, err := parseRequest(body, s.cfg.MaxReps)
 	if err != nil {
-		http.Error(w, "serve: "+err.Error(), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error(), 0)
 		return
 	}
 	ctx := r.Context()
@@ -269,8 +306,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			s.cache.Abort(entry, errors.New("serve: rejected by admission control"))
 		}
 		s.mRejected.Inc()
-		w.Header().Set("Retry-After", s.retryAfter())
-		http.Error(w, "serve: job queue full", http.StatusTooManyRequests)
+		writeError(w, http.StatusTooManyRequests, "queue_full",
+			"job queue is full", s.retryAfterSeconds())
 		return
 	}
 	defer func() { <-s.admSlots }()
@@ -481,7 +518,7 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	job := s.lookup(r.PathValue("id"))
 	if job == nil {
-		http.Error(w, "serve: no such job", http.StatusNotFound)
+		writeError(w, http.StatusNotFound, "not_found", "no such job: "+r.PathValue("id"), 0)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -491,12 +528,13 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	job := s.lookup(r.PathValue("id"))
 	if job == nil {
-		http.Error(w, "serve: no such job", http.StatusNotFound)
+		writeError(w, http.StatusNotFound, "not_found", "no such job: "+r.PathValue("id"), 0)
 		return
 	}
 	log := job.traceSnapshot()
 	if log == nil {
-		http.Error(w, "serve: job retained no trace (submit with \"trace\": true)", http.StatusNotFound)
+		writeError(w, http.StatusNotFound, "no_trace",
+			"job retained no trace (submit with \"trace\": true)", 0)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")

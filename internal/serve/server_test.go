@@ -351,3 +351,130 @@ func TestDrainRejectsNewJobs(t *testing.T) {
 		t.Errorf("healthz after drain: %d %s", code, body)
 	}
 }
+
+// TestV1RoutesAliasLegacyPaths checks the versioned /v1 routes and the
+// unversioned originals hit the same handlers and share one job registry:
+// a job submitted on /v1/jobs is visible on /jobs and vice versa.
+func TestV1RoutesAliasLegacyPaths(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(runBody(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("POST /v1/jobs = %d: %s", resp.StatusCode, b)
+	}
+	var accepted streamLine
+	if err := json.Unmarshal([]byte(strings.SplitN(string(b), "\n", 2)[0]), &accepted); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, path := range []string{"/jobs/", "/v1/jobs/"} {
+		if code, body := get(t, ts.URL+path+accepted.Job); code != 200 {
+			t.Errorf("GET %s%s = %d: %s", path, accepted.Job, code, body)
+		}
+	}
+	for _, path := range []string{"/v1/jobs", "/v1/metrics", "/v1/healthz"} {
+		if code, body := get(t, ts.URL+path); code != 200 {
+			t.Errorf("GET %s = %d: %s", path, code, body)
+		}
+	}
+}
+
+// TestErrorEnvelope pins the typed JSON error contract: 400/404/429/503 all
+// answer with {"code","message","retry_after_seconds"}, the retry hint
+// appearing exactly when the Retry-After header does.
+func TestErrorEnvelope(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: -1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	decode := func(t *testing.T, body string) apiError {
+		t.Helper()
+		var e apiError
+		if err := json.Unmarshal([]byte(body), &e); err != nil {
+			t.Fatalf("error body is not the JSON envelope: %q (%v)", body, err)
+		}
+		return e
+	}
+
+	t.Run("bad request", func(t *testing.T) {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader("{"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		e := decode(t, string(b))
+		if resp.StatusCode != http.StatusBadRequest || e.Code != "bad_request" || e.Message == "" {
+			t.Errorf("bad request: status %d envelope %+v", resp.StatusCode, e)
+		}
+		if e.RetryAfterSeconds != 0 {
+			t.Errorf("400 carried retry_after_seconds = %d", e.RetryAfterSeconds)
+		}
+	})
+
+	t.Run("not found", func(t *testing.T) {
+		code, body := get(t, ts.URL+"/v1/jobs/j-missing")
+		e := decode(t, body)
+		if code != http.StatusNotFound || e.Code != "not_found" {
+			t.Errorf("missing job: status %d envelope %+v", code, e)
+		}
+	})
+
+	t.Run("queue full", func(t *testing.T) {
+		// One worker, no queue: a long sweep holds the worker while the
+		// second POST bounces (same shape as the admission-control test).
+		started := make(chan struct{})
+		finished := make(chan struct{})
+		go func() {
+			defer close(finished)
+			resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(sweepBody(900, 64)))
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			buf := make([]byte, 1)
+			_, _ = resp.Body.Read(buf) // first byte of the accepted line: admitted
+			close(started)
+			_, _ = io.Copy(io.Discard, resp.Body)
+		}()
+		<-started
+		defer func() { <-finished }()
+
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(runBody(901)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		e := decode(t, string(b))
+		if resp.StatusCode != http.StatusTooManyRequests || e.Code != "queue_full" {
+			t.Fatalf("queue full: status %d envelope %+v", resp.StatusCode, e)
+		}
+		if e.RetryAfterSeconds < 1 || resp.Header.Get("Retry-After") == "" {
+			t.Errorf("429 envelope %+v header %q: retry hint missing", e, resp.Header.Get("Retry-After"))
+		}
+	})
+
+	t.Run("draining", func(t *testing.T) {
+		if _, err := s.Drain(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(runBody(902)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		e := decode(t, string(b))
+		if resp.StatusCode != http.StatusServiceUnavailable || e.Code != "draining" || e.RetryAfterSeconds < 1 {
+			t.Errorf("draining: status %d envelope %+v", resp.StatusCode, e)
+		}
+	})
+}

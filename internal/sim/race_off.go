@@ -1,0 +1,8 @@
+//go:build !race
+
+package sim
+
+// RaceEnabled reports whether the binary was built with the race detector.
+// Allocation-budget tests consult it: race instrumentation inflates
+// allocation counts, so AllocsPerRun assertions only run in plain builds.
+const RaceEnabled = false

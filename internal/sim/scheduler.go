@@ -7,6 +7,15 @@
 // with the same seed replays identically. Events scheduled for the same
 // instant fire in FIFO order of scheduling, which keeps broadcast fan-out
 // deterministic.
+//
+// Event records are pooled: once an event fires or is stopped, its record
+// returns to a free list and backs a later schedule. Pooling is invisible to
+// simulation outcomes — ordering is decided by the (time, seq) pair assigned
+// at schedule time, never by record identity — and stale Timer handles are
+// fenced off by a per-record generation counter. A shared EventPool can be
+// threaded through consecutive schedulers (one replication after another on
+// the same worker) so a warmed-up free list keeps amortising allocations
+// across runs.
 package sim
 
 import (
@@ -15,42 +24,85 @@ import (
 	"time"
 )
 
-// Event is a unit of scheduled work. Events are created through Scheduler.At
-// and Scheduler.After and are not reusable.
+// event is a unit of scheduled work. Records are pooled and reused; the gen
+// counter invalidates Timer handles left over from a previous life.
 type event struct {
 	time  time.Duration
 	seq   uint64 // tie-breaker: FIFO among equal times
 	index int    // heap index, -1 once popped or cancelled
+	gen   uint64 // incremented on recycle; fences stale Timers
 	fn    func()
+	afn   func(any) // arg-style callback (AtFunc/AfterFunc); nil for fn events
+	arg   any
+}
+
+// EventPool recycles event records across schedulers. A pool may be shared
+// by any number of schedulers used one after another on the same goroutine
+// (e.g. consecutive replications on one sweep worker); it is not safe for
+// concurrent use. The zero value is ready to use.
+type EventPool struct {
+	free []*event
+}
+
+// NewEventPool returns an empty pool.
+func NewEventPool() *EventPool { return &EventPool{} }
+
+func (p *EventPool) get() *event {
+	if n := len(p.free); n > 0 {
+		ev := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// put recycles a record: the generation bump invalidates outstanding Timer
+// handles and the callback slots are cleared so pooled records retain
+// nothing.
+func (p *EventPool) put(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.afn = nil
+	ev.arg = nil
+	ev.index = -1
+	p.free = append(p.free, ev)
 }
 
 // Timer is a handle to a scheduled event that can be cancelled before it
-// fires. The zero value is an inert, already-stopped timer.
+// fires. Timers are small values and may be copied freely; the zero value is
+// an inert, already-stopped timer.
 type Timer struct {
-	s  *Scheduler
-	ev *event
+	s   *Scheduler
+	ev  *event
+	gen uint64
+}
+
+// live reports whether the handle still refers to the scheduled event it was
+// created for (the record may since have been recycled for another event).
+func (t *Timer) live() bool {
+	return t != nil && t.s != nil && t.ev != nil && t.ev.gen == t.gen && t.ev.index >= 0
 }
 
 // Stop cancels the timer. It reports whether the call prevented the event
 // from firing: false means the event already ran, was already stopped, or the
 // timer is the zero value.
 func (t *Timer) Stop() bool {
-	if t == nil || t.s == nil || t.ev == nil {
+	if !t.live() {
+		if t != nil {
+			t.ev = nil
+		}
 		return false
 	}
 	ev := t.ev
 	t.ev = nil
-	if ev.index < 0 {
-		return false
-	}
 	heap.Remove(&t.s.events, ev.index)
+	t.s.pool.put(ev)
 	return true
 }
 
 // Active reports whether the timer is still pending.
-func (t *Timer) Active() bool {
-	return t != nil && t.ev != nil && t.ev.index >= 0
-}
+func (t *Timer) Active() bool { return t.live() }
 
 // Observer receives scheduler lifecycle callbacks. It exists for runtime
 // invariant checking in tests (see InvariantChecker); nil fields are skipped,
@@ -65,7 +117,7 @@ type Observer struct {
 }
 
 // Scheduler is a discrete-event scheduler. The zero value is ready to use,
-// with the clock at zero.
+// with the clock at zero and a private event pool.
 type Scheduler struct {
 	now       time.Duration
 	seq       uint64
@@ -75,10 +127,30 @@ type Scheduler struct {
 	stopped   bool
 	idleHooks []func()
 	obs       Observer
+	pool      *EventPool
+	ownPool   EventPool // backs pool when no shared pool was supplied
 }
 
-// NewScheduler returns an empty scheduler with the clock at zero.
+// NewScheduler returns an empty scheduler with the clock at zero and a
+// private event pool.
 func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// NewSchedulerWithPool returns a scheduler drawing event records from pool,
+// so a worker running many short-lived schedulers in sequence reuses one
+// warmed-up free list instead of re-allocating per run. A nil pool behaves
+// like NewScheduler.
+func NewSchedulerWithPool(pool *EventPool) *Scheduler {
+	return &Scheduler{pool: pool}
+}
+
+// ensurePool lazily wires the private pool so the zero Scheduler keeps
+// working.
+func (s *Scheduler) ensurePool() *EventPool {
+	if s.pool == nil {
+		s.pool = &s.ownPool
+	}
+	return s.pool
+}
 
 // Now returns the current virtual time.
 func (s *Scheduler) Now() time.Duration { return s.now }
@@ -89,25 +161,55 @@ func (s *Scheduler) Executed() uint64 { return s.executed }
 // Pending returns the number of events waiting to fire.
 func (s *Scheduler) Pending() int { return s.events.Len() }
 
-// At schedules fn to run at absolute virtual time t and returns a cancellable
-// handle. Scheduling in the past (t < Now) panics: it is always a protocol
-// bug, and silently reordering time would mask it.
-func (s *Scheduler) At(t time.Duration, fn func()) *Timer {
-	if fn == nil {
-		panic("sim: At called with nil func")
-	}
+// schedule allocates (or recycles) a record for time t and pushes it.
+func (s *Scheduler) schedule(t time.Duration) *event {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: At(%v) is in the past (now %v)", t, s.now))
 	}
-	ev := &event{time: t, seq: s.seq, fn: fn}
+	ev := s.ensurePool().get()
+	ev.time = t
+	ev.seq = s.seq
 	s.seq++
 	heap.Push(&s.events, ev)
-	return &Timer{s: s, ev: ev}
+	return ev
+}
+
+// At schedules fn to run at absolute virtual time t and returns a cancellable
+// handle. Scheduling in the past (t < Now) panics: it is always a protocol
+// bug, and silently reordering time would mask it.
+func (s *Scheduler) At(t time.Duration, fn func()) Timer {
+	if fn == nil {
+		panic("sim: At called with nil func")
+	}
+	ev := s.schedule(t)
+	ev.fn = fn
+	return Timer{s: s, ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d from now. Negative d panics, as with At.
-func (s *Scheduler) After(d time.Duration, fn func()) *Timer {
+func (s *Scheduler) After(d time.Duration, fn func()) Timer {
 	return s.At(s.now+d, fn)
+}
+
+// AtFunc schedules fn(arg) to run at absolute virtual time t. It is the
+// allocation-free alternative to At for hot paths: a caller keeps one fn for
+// the lifetime of the component and threads per-event state through arg
+// (typically a pointer into its own free list), so no closure is created per
+// event.
+func (s *Scheduler) AtFunc(t time.Duration, fn func(any), arg any) Timer {
+	if fn == nil {
+		panic("sim: AtFunc called with nil func")
+	}
+	ev := s.schedule(t)
+	ev.afn = fn
+	ev.arg = arg
+	return Timer{s: s, ev: ev, gen: ev.gen}
+}
+
+// AfterFunc schedules fn(arg) to run d from now. Negative d panics, as with
+// At.
+func (s *Scheduler) AfterFunc(d time.Duration, fn func(any), arg any) Timer {
+	return s.AtFunc(s.now+d, fn, arg)
 }
 
 // Stop makes the current Run/RunUntil/RunFor call return after the event in
@@ -147,7 +249,16 @@ func (s *Scheduler) Step() bool {
 	if s.obs.EventFired != nil {
 		s.obs.EventFired(ev.time)
 	}
-	ev.fn()
+	// Recycle before running the callback: the record's next life (possibly
+	// scheduled by this very callback) is fenced from stale Timers by the
+	// generation bump, and the callback slots were copied out first.
+	fn, afn, arg := ev.fn, ev.afn, ev.arg
+	s.ensurePool().put(ev)
+	if afn != nil {
+		afn(arg)
+	} else {
+		fn()
+	}
 	return true
 }
 

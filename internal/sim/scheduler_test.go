@@ -120,7 +120,7 @@ func TestTimerStopMiddleOfHeap(t *testing.T) {
 	// ordering of the remaining events.
 	s := NewScheduler()
 	var got []time.Duration
-	var timers []*Timer
+	var timers []Timer
 	for _, d := range []time.Duration{50, 40, 30, 20, 10} {
 		d := d
 		timers = append(timers, s.At(d, func() { got = append(got, d) }))
@@ -275,7 +275,7 @@ func TestSchedulerCancelProperty(t *testing.T) {
 		s := NewScheduler()
 		const n = 40
 		fired := make([]bool, n)
-		timers := make([]*Timer, n)
+		timers := make([]Timer, n)
 		for i := 0; i < n; i++ {
 			i := i
 			timers[i] = s.At(time.Duration(r.Intn(100)), func() { fired[i] = true })

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 )
 
@@ -22,15 +23,20 @@ var (
 // lists) to keep decoders allocation-safe on hostile input.
 const maxVarLen = 1 << 16
 
-// writer appends big-endian fields to a buffer.
+// writer appends big-endian fields to a buffer. It is used as a stack value;
+// only the buffer it builds escapes.
 type writer struct {
 	buf []byte
 }
 
-func newWriter(kind Kind, sizeHint int) *writer {
-	w := &writer{buf: make([]byte, 0, sizeHint+1)}
-	w.u8(uint8(kind))
-	return w
+// start begins a packet encoding appended to dst: when dst is nil a fresh
+// buffer is allocated with the size hint, otherwise the caller's buffer (and
+// capacity) is reused.
+func start(dst []byte, kind Kind, sizeHint int) writer {
+	if dst == nil {
+		dst = make([]byte, 0, sizeHint+1)
+	}
+	return writer{buf: append(dst, byte(kind))}
 }
 
 func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
@@ -61,13 +67,12 @@ func (w *writer) bytes(b []byte) error {
 }
 
 // reader consumes big-endian fields from a buffer, latching the first error.
+// Like writer it lives on the caller's stack.
 type reader struct {
 	buf []byte
 	off int
 	err error
 }
-
-func newReader(b []byte) *reader { return &reader{buf: b} }
 
 func (r *reader) take(n int) []byte {
 	if r.err != nil {
@@ -157,51 +162,63 @@ func (r *reader) finish() error {
 	return nil
 }
 
+// body strips and verifies the leading Kind byte for UnmarshalBinary.
+func body(b []byte, want Kind) ([]byte, error) {
+	if len(b) == 0 {
+		return nil, ErrTruncated
+	}
+	if Kind(b[0]) != want {
+		return nil, fmt.Errorf("%w: got %v, want %v", ErrBadKind, Kind(b[0]), want)
+	}
+	return b[1:], nil
+}
+
 // Decode parses a packet from its wire bytes, dispatching on the leading
-// Kind byte.
+// Kind byte. Each call allocates a fresh packet; hot paths that know the
+// kind in advance (Frame.Kind) can instead UnmarshalBinary into a stack
+// value and skip the heap entirely.
 func Decode(b []byte) (Packet, error) {
 	if len(b) == 0 {
 		return nil, ErrTruncated
 	}
 	kind := Kind(b[0])
-	body := b[1:]
 	var (
 		p   Packet
 		err error
 	)
 	switch kind {
 	case KindRREQ:
-		p, err = decodeRREQ(body)
+		p, err = alloc[RREQ](b)
 	case KindRREP:
-		p, err = decodeRREP(body)
+		p, err = alloc[RREP](b)
 	case KindRERR:
-		p, err = decodeRERR(body)
+		p, err = alloc[RERR](b)
 	case KindHello:
-		p, err = decodeHello(body)
+		p, err = alloc[Hello](b)
 	case KindData:
-		p, err = decodeData(body)
+		p, err = alloc[Data](b)
 	case KindJoinReq:
-		p, err = decodeJoinReq(body)
+		p, err = alloc[JoinReq](b)
 	case KindJoinRep:
-		p, err = decodeJoinRep(body)
+		p, err = alloc[JoinRep](b)
 	case KindLeave:
-		p, err = decodeLeave(body)
+		p, err = alloc[Leave](b)
 	case KindDetectReq:
-		p, err = decodeDetectReq(body)
+		p, err = alloc[DetectReq](b)
 	case KindDetectResp:
-		p, err = decodeDetectResp(body)
+		p, err = alloc[DetectResp](b)
 	case KindRevocationReq:
-		p, err = decodeRevocationReq(body)
+		p, err = alloc[RevocationReq](b)
 	case KindRevocationNotice:
-		p, err = decodeRevocationNotice(body)
+		p, err = alloc[RevocationNotice](b)
 	case KindBlacklistNotice:
-		p, err = decodeBlacklistNotice(body)
+		p, err = alloc[BlacklistNotice](b)
 	case KindRenewalReq:
-		p, err = decodeRenewalReq(body)
+		p, err = alloc[RenewalReq](b)
 	case KindRenewalResp:
-		p, err = decodeRenewalResp(body)
+		p, err = alloc[RenewalResp](b)
 	case KindSecure:
-		p, err = decodeSecure(body)
+		p, err = alloc[Secure](b)
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrBadKind, uint8(kind))
 	}
@@ -211,9 +228,25 @@ func Decode(b []byte) (Packet, error) {
 	return p, nil
 }
 
-// MarshalBinary implements Packet.
-func (p *RREQ) MarshalBinary() ([]byte, error) {
-	w := newWriter(KindRREQ, 31)
+// unmarshaler is the pointer-receiver decode constraint for alloc.
+type unmarshaler[T any] interface {
+	*T
+	Packet
+	UnmarshalBinary(b []byte) error
+}
+
+// alloc heap-allocates a T and unmarshals the full wire bytes into it.
+func alloc[T any, PT unmarshaler[T]](b []byte) (Packet, error) {
+	p := PT(new(T))
+	if err := p.UnmarshalBinary(b); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// AppendBinary implements Packet.
+func (p *RREQ) AppendBinary(dst []byte) ([]byte, error) {
+	w := start(dst, KindRREQ, 31)
 	w.u32(p.FloodID)
 	w.u64(uint64(p.Origin))
 	w.u32(uint32(p.OriginSeq))
@@ -225,9 +258,15 @@ func (p *RREQ) MarshalBinary() ([]byte, error) {
 	return w.buf, nil
 }
 
-func decodeRREQ(b []byte) (*RREQ, error) {
-	r := newReader(b)
-	p := &RREQ{
+// UnmarshalBinary decodes the full wire bytes (including the Kind byte),
+// replacing p. It does not allocate, so decoding into a stack value is free.
+func (p *RREQ) UnmarshalBinary(b []byte) error {
+	b, err := body(b, KindRREQ)
+	if err != nil {
+		return err
+	}
+	r := reader{buf: b}
+	*p = RREQ{
 		FloodID:   r.u32(),
 		Origin:    NodeID(r.u64()),
 		OriginSeq: SeqNum(r.u32()),
@@ -237,12 +276,12 @@ func decodeRREQ(b []byte) (*RREQ, error) {
 		TTL:       r.u8(),
 		WantNext:  r.boolean(),
 	}
-	return p, r.finish()
+	return r.finish()
 }
 
-// MarshalBinary implements Packet.
-func (p *RREP) MarshalBinary() ([]byte, error) {
-	w := newWriter(KindRREP, 47)
+// AppendBinary implements Packet.
+func (p *RREP) AppendBinary(dst []byte) ([]byte, error) {
+	w := start(dst, KindRREP, 47)
 	w.u64(uint64(p.Origin))
 	w.u64(uint64(p.Dest))
 	w.u32(uint32(p.DestSeq))
@@ -254,9 +293,15 @@ func (p *RREP) MarshalBinary() ([]byte, error) {
 	return w.buf, nil
 }
 
-func decodeRREP(b []byte) (*RREP, error) {
-	r := newReader(b)
-	p := &RREP{
+// UnmarshalBinary decodes the full wire bytes (including the Kind byte),
+// replacing p.
+func (p *RREP) UnmarshalBinary(b []byte) error {
+	b, err := body(b, KindRREP)
+	if err != nil {
+		return err
+	}
+	r := reader{buf: b}
+	*p = RREP{
 		Origin:        NodeID(r.u64()),
 		Dest:          NodeID(r.u64()),
 		DestSeq:       SeqNum(r.u32()),
@@ -266,15 +311,15 @@ func decodeRREP(b []byte) (*RREP, error) {
 		IssuerCluster: ClusterID(r.u16()),
 		NextHop:       NodeID(r.u64()),
 	}
-	return p, r.finish()
+	return r.finish()
 }
 
-// MarshalBinary implements Packet.
-func (p *RERR) MarshalBinary() ([]byte, error) {
+// AppendBinary implements Packet.
+func (p *RERR) AppendBinary(dst []byte) ([]byte, error) {
 	if len(p.Unreachable) > maxVarLen {
 		return nil, fmt.Errorf("%w: %d unreachable entries", ErrTooLong, len(p.Unreachable))
 	}
-	w := newWriter(KindRERR, 10+12*len(p.Unreachable))
+	w := start(dst, KindRERR, 10+12*len(p.Unreachable))
 	w.u64(uint64(p.Reporter))
 	w.u16(uint16(len(p.Unreachable)))
 	for _, u := range p.Unreachable {
@@ -284,9 +329,15 @@ func (p *RERR) MarshalBinary() ([]byte, error) {
 	return w.buf, nil
 }
 
-func decodeRERR(b []byte) (*RERR, error) {
-	r := newReader(b)
-	p := &RERR{Reporter: NodeID(r.u64())}
+// UnmarshalBinary decodes the full wire bytes (including the Kind byte),
+// replacing p. The Unreachable slice is allocated only when non-empty.
+func (p *RERR) UnmarshalBinary(b []byte) error {
+	b, err := body(b, KindRERR)
+	if err != nil {
+		return err
+	}
+	r := reader{buf: b}
+	*p = RERR{Reporter: NodeID(r.u64())}
 	n := int(r.u16())
 	for i := 0; i < n && r.err == nil; i++ {
 		p.Unreachable = append(p.Unreachable, UnreachableDest{
@@ -294,12 +345,12 @@ func decodeRERR(b []byte) (*RERR, error) {
 			Seq:  SeqNum(r.u32()),
 		})
 	}
-	return p, r.finish()
+	return r.finish()
 }
 
-// MarshalBinary implements Packet.
-func (p *Hello) MarshalBinary() ([]byte, error) {
-	w := newWriter(KindHello, 26)
+// AppendBinary implements Packet.
+func (p *Hello) AppendBinary(dst []byte) ([]byte, error) {
+	w := start(dst, KindHello, 26)
 	w.u64(uint64(p.Origin))
 	w.u64(uint64(p.Dest))
 	w.u64(p.Nonce)
@@ -308,21 +359,27 @@ func (p *Hello) MarshalBinary() ([]byte, error) {
 	return w.buf, nil
 }
 
-func decodeHello(b []byte) (*Hello, error) {
-	r := newReader(b)
-	p := &Hello{
+// UnmarshalBinary decodes the full wire bytes (including the Kind byte),
+// replacing p. It does not allocate.
+func (p *Hello) UnmarshalBinary(b []byte) error {
+	b, err := body(b, KindHello)
+	if err != nil {
+		return err
+	}
+	r := reader{buf: b}
+	*p = Hello{
 		Origin: NodeID(r.u64()),
 		Dest:   NodeID(r.u64()),
 		Nonce:  r.u64(),
 		Reply:  r.boolean(),
 		Hops:   r.u8(),
 	}
-	return p, r.finish()
+	return r.finish()
 }
 
-// MarshalBinary implements Packet.
-func (p *Data) MarshalBinary() ([]byte, error) {
-	w := newWriter(KindData, 22+len(p.Payload))
+// AppendBinary implements Packet.
+func (p *Data) AppendBinary(dst []byte) ([]byte, error) {
+	w := start(dst, KindData, 22+len(p.Payload))
 	w.u64(uint64(p.Origin))
 	w.u64(uint64(p.Dest))
 	w.u32(p.SeqNo)
@@ -332,20 +389,26 @@ func (p *Data) MarshalBinary() ([]byte, error) {
 	return w.buf, nil
 }
 
-func decodeData(b []byte) (*Data, error) {
-	r := newReader(b)
-	p := &Data{
+// UnmarshalBinary decodes the full wire bytes (including the Kind byte),
+// replacing p. The payload is copied out of b, so b may be reused.
+func (p *Data) UnmarshalBinary(b []byte) error {
+	b, err := body(b, KindData)
+	if err != nil {
+		return err
+	}
+	r := reader{buf: b}
+	*p = Data{
 		Origin:  NodeID(r.u64()),
 		Dest:    NodeID(r.u64()),
 		SeqNo:   r.u32(),
 		Payload: r.bytes(),
 	}
-	return p, r.finish()
+	return r.finish()
 }
 
-// MarshalBinary implements Packet.
-func (p *JoinReq) MarshalBinary() ([]byte, error) {
-	w := newWriter(KindJoinReq, 35)
+// AppendBinary implements Packet.
+func (p *JoinReq) AppendBinary(dst []byte) ([]byte, error) {
+	w := start(dst, KindJoinReq, 35)
 	w.u64(uint64(p.Vehicle))
 	w.f64(p.PosX)
 	w.f64(p.PosY)
@@ -356,9 +419,15 @@ func (p *JoinReq) MarshalBinary() ([]byte, error) {
 	return w.buf, nil
 }
 
-func decodeJoinReq(b []byte) (*JoinReq, error) {
-	r := newReader(b)
-	p := &JoinReq{
+// UnmarshalBinary decodes the full wire bytes (including the Kind byte),
+// replacing p.
+func (p *JoinReq) UnmarshalBinary(b []byte) error {
+	b, err := body(b, KindJoinReq)
+	if err != nil {
+		return err
+	}
+	r := reader{buf: b}
+	*p = JoinReq{
 		Vehicle:    NodeID(r.u64()),
 		PosX:       r.f64(),
 		PosY:       r.f64(),
@@ -367,48 +436,60 @@ func decodeJoinReq(b []byte) (*JoinReq, error) {
 		Overlapped: r.boolean(),
 		Failover:   r.boolean(),
 	}
-	return p, r.finish()
+	return r.finish()
 }
 
-// MarshalBinary implements Packet.
-func (p *JoinRep) MarshalBinary() ([]byte, error) {
-	w := newWriter(KindJoinRep, 18)
+// AppendBinary implements Packet.
+func (p *JoinRep) AppendBinary(dst []byte) ([]byte, error) {
+	w := start(dst, KindJoinRep, 18)
 	w.u64(uint64(p.Head))
 	w.u16(uint16(p.Cluster))
 	w.u64(uint64(p.Vehicle))
 	return w.buf, nil
 }
 
-func decodeJoinRep(b []byte) (*JoinRep, error) {
-	r := newReader(b)
-	p := &JoinRep{
+// UnmarshalBinary decodes the full wire bytes (including the Kind byte),
+// replacing p.
+func (p *JoinRep) UnmarshalBinary(b []byte) error {
+	b, err := body(b, KindJoinRep)
+	if err != nil {
+		return err
+	}
+	r := reader{buf: b}
+	*p = JoinRep{
 		Head:    NodeID(r.u64()),
 		Cluster: ClusterID(r.u16()),
 		Vehicle: NodeID(r.u64()),
 	}
-	return p, r.finish()
+	return r.finish()
 }
 
-// MarshalBinary implements Packet.
-func (p *Leave) MarshalBinary() ([]byte, error) {
-	w := newWriter(KindLeave, 10)
+// AppendBinary implements Packet.
+func (p *Leave) AppendBinary(dst []byte) ([]byte, error) {
+	w := start(dst, KindLeave, 10)
 	w.u64(uint64(p.Vehicle))
 	w.u16(uint16(p.Cluster))
 	return w.buf, nil
 }
 
-func decodeLeave(b []byte) (*Leave, error) {
-	r := newReader(b)
-	p := &Leave{
+// UnmarshalBinary decodes the full wire bytes (including the Kind byte),
+// replacing p.
+func (p *Leave) UnmarshalBinary(b []byte) error {
+	b, err := body(b, KindLeave)
+	if err != nil {
+		return err
+	}
+	r := reader{buf: b}
+	*p = Leave{
 		Vehicle: NodeID(r.u64()),
 		Cluster: ClusterID(r.u16()),
 	}
-	return p, r.finish()
+	return r.finish()
 }
 
-// MarshalBinary implements Packet.
-func (p *DetectReq) MarshalBinary() ([]byte, error) {
-	w := newWriter(KindDetectReq, 50)
+// AppendBinary implements Packet.
+func (p *DetectReq) AppendBinary(dst []byte) ([]byte, error) {
+	w := start(dst, KindDetectReq, 50)
 	w.u64(uint64(p.Reporter))
 	w.u16(uint16(p.ReporterCluster))
 	w.u64(uint64(p.Suspect))
@@ -421,9 +502,15 @@ func (p *DetectReq) MarshalBinary() ([]byte, error) {
 	return w.buf, nil
 }
 
-func decodeDetectReq(b []byte) (*DetectReq, error) {
-	r := newReader(b)
-	p := &DetectReq{
+// UnmarshalBinary decodes the full wire bytes (including the Kind byte),
+// replacing p.
+func (p *DetectReq) UnmarshalBinary(b []byte) error {
+	b, err := body(b, KindDetectReq)
+	if err != nil {
+		return err
+	}
+	r := reader{buf: b}
+	*p = DetectReq{
 		Reporter:        NodeID(r.u64()),
 		ReporterCluster: ClusterID(r.u16()),
 		Suspect:         NodeID(r.u64()),
@@ -434,12 +521,12 @@ func decodeDetectReq(b []byte) (*DetectReq, error) {
 		Forwards:        r.u8(),
 		Nonce:           r.u64(),
 	}
-	return p, r.finish()
+	return r.finish()
 }
 
-// MarshalBinary implements Packet.
-func (p *DetectResp) MarshalBinary() ([]byte, error) {
-	w := newWriter(KindDetectResp, 25)
+// AppendBinary implements Packet.
+func (p *DetectResp) AppendBinary(dst []byte) ([]byte, error) {
+	w := start(dst, KindDetectResp, 25)
 	w.u64(uint64(p.Reporter))
 	w.u64(uint64(p.Suspect))
 	w.u8(uint8(p.Verdict))
@@ -447,20 +534,26 @@ func (p *DetectResp) MarshalBinary() ([]byte, error) {
 	return w.buf, nil
 }
 
-func decodeDetectResp(b []byte) (*DetectResp, error) {
-	r := newReader(b)
-	p := &DetectResp{
+// UnmarshalBinary decodes the full wire bytes (including the Kind byte),
+// replacing p.
+func (p *DetectResp) UnmarshalBinary(b []byte) error {
+	b, err := body(b, KindDetectResp)
+	if err != nil {
+		return err
+	}
+	r := reader{buf: b}
+	*p = DetectResp{
 		Reporter: NodeID(r.u64()),
 		Suspect:  NodeID(r.u64()),
 		Verdict:  Verdict(r.u8()),
 		Teammate: NodeID(r.u64()),
 	}
-	return p, r.finish()
+	return r.finish()
 }
 
-// MarshalBinary implements Packet.
-func (p *RevocationReq) MarshalBinary() ([]byte, error) {
-	w := newWriter(KindRevocationReq, 26)
+// AppendBinary implements Packet.
+func (p *RevocationReq) AppendBinary(dst []byte) ([]byte, error) {
+	w := start(dst, KindRevocationReq, 26)
 	w.u64(uint64(p.Head))
 	w.u64(uint64(p.Suspect))
 	w.u64(p.CertSerial)
@@ -468,15 +561,21 @@ func (p *RevocationReq) MarshalBinary() ([]byte, error) {
 	return w.buf, nil
 }
 
-func decodeRevocationReq(b []byte) (*RevocationReq, error) {
-	r := newReader(b)
-	p := &RevocationReq{
+// UnmarshalBinary decodes the full wire bytes (including the Kind byte),
+// replacing p.
+func (p *RevocationReq) UnmarshalBinary(b []byte) error {
+	b, err := body(b, KindRevocationReq)
+	if err != nil {
+		return err
+	}
+	r := reader{buf: b}
+	*p = RevocationReq{
 		Head:       NodeID(r.u64()),
 		Suspect:    NodeID(r.u64()),
 		CertSerial: r.u64(),
 		Cluster:    ClusterID(r.u16()),
 	}
-	return p, r.finish()
+	return r.finish()
 }
 
 func (w *writer) revokedCert(rc RevokedCert) {
@@ -493,29 +592,35 @@ func (r *reader) revokedCert() RevokedCert {
 	}
 }
 
-// MarshalBinary implements Packet.
-func (p *RevocationNotice) MarshalBinary() ([]byte, error) {
-	w := newWriter(KindRevocationNotice, 26)
+// AppendBinary implements Packet.
+func (p *RevocationNotice) AppendBinary(dst []byte) ([]byte, error) {
+	w := start(dst, KindRevocationNotice, 26)
 	w.u16(uint16(p.Authority))
 	w.revokedCert(p.Revoked)
 	return w.buf, nil
 }
 
-func decodeRevocationNotice(b []byte) (*RevocationNotice, error) {
-	r := newReader(b)
-	p := &RevocationNotice{
+// UnmarshalBinary decodes the full wire bytes (including the Kind byte),
+// replacing p.
+func (p *RevocationNotice) UnmarshalBinary(b []byte) error {
+	b, err := body(b, KindRevocationNotice)
+	if err != nil {
+		return err
+	}
+	r := reader{buf: b}
+	*p = RevocationNotice{
 		Authority: AuthorityID(r.u16()),
 		Revoked:   r.revokedCert(),
 	}
-	return p, r.finish()
+	return r.finish()
 }
 
-// MarshalBinary implements Packet.
-func (p *BlacklistNotice) MarshalBinary() ([]byte, error) {
+// AppendBinary implements Packet.
+func (p *BlacklistNotice) AppendBinary(dst []byte) ([]byte, error) {
 	if len(p.Revoked) > maxVarLen {
 		return nil, fmt.Errorf("%w: %d blacklist entries", ErrTooLong, len(p.Revoked))
 	}
-	w := newWriter(KindBlacklistNotice, 12+24*len(p.Revoked))
+	w := start(dst, KindBlacklistNotice, 12+24*len(p.Revoked))
 	w.u64(uint64(p.Head))
 	w.u16(uint16(p.Cluster))
 	w.u16(uint16(len(p.Revoked)))
@@ -525,9 +630,15 @@ func (p *BlacklistNotice) MarshalBinary() ([]byte, error) {
 	return w.buf, nil
 }
 
-func decodeBlacklistNotice(b []byte) (*BlacklistNotice, error) {
-	r := newReader(b)
-	p := &BlacklistNotice{
+// UnmarshalBinary decodes the full wire bytes (including the Kind byte),
+// replacing p.
+func (p *BlacklistNotice) UnmarshalBinary(b []byte) error {
+	b, err := body(b, KindBlacklistNotice)
+	if err != nil {
+		return err
+	}
+	r := reader{buf: b}
+	*p = BlacklistNotice{
 		Head:    NodeID(r.u64()),
 		Cluster: ClusterID(r.u16()),
 	}
@@ -535,12 +646,12 @@ func decodeBlacklistNotice(b []byte) (*BlacklistNotice, error) {
 	for i := 0; i < n && r.err == nil; i++ {
 		p.Revoked = append(p.Revoked, r.revokedCert())
 	}
-	return p, r.finish()
+	return r.finish()
 }
 
-// MarshalBinary implements Packet.
-func (p *RenewalReq) MarshalBinary() ([]byte, error) {
-	w := newWriter(KindRenewalReq, 18+len(p.NewPubKey))
+// AppendBinary implements Packet.
+func (p *RenewalReq) AppendBinary(dst []byte) ([]byte, error) {
+	w := start(dst, KindRenewalReq, 18+len(p.NewPubKey))
 	w.u64(uint64(p.Current))
 	w.u64(p.CertSerial)
 	if err := w.bytes(p.NewPubKey); err != nil {
@@ -549,14 +660,20 @@ func (p *RenewalReq) MarshalBinary() ([]byte, error) {
 	return w.buf, nil
 }
 
-func decodeRenewalReq(b []byte) (*RenewalReq, error) {
-	r := newReader(b)
-	p := &RenewalReq{
+// UnmarshalBinary decodes the full wire bytes (including the Kind byte),
+// replacing p.
+func (p *RenewalReq) UnmarshalBinary(b []byte) error {
+	b, err := body(b, KindRenewalReq)
+	if err != nil {
+		return err
+	}
+	r := reader{buf: b}
+	*p = RenewalReq{
 		Current:    NodeID(r.u64()),
 		CertSerial: r.u64(),
 		NewPubKey:  r.bytes(),
 	}
-	return p, r.finish()
+	return r.finish()
 }
 
 func (w *writer) certificate(c Certificate) error {
@@ -581,9 +698,9 @@ func (r *reader) certificate() Certificate {
 	}
 }
 
-// MarshalBinary implements Packet.
-func (p *RenewalResp) MarshalBinary() ([]byte, error) {
-	w := newWriter(KindRenewalResp, 48+len(p.Cert.PubKey)+len(p.Cert.Signature))
+// AppendBinary implements Packet.
+func (p *RenewalResp) AppendBinary(dst []byte) ([]byte, error) {
+	w := start(dst, KindRenewalResp, 48+len(p.Cert.PubKey)+len(p.Cert.Signature))
 	w.u64(uint64(p.Requester))
 	w.boolean(p.Denied)
 	if err := w.certificate(p.Cert); err != nil {
@@ -592,20 +709,26 @@ func (p *RenewalResp) MarshalBinary() ([]byte, error) {
 	return w.buf, nil
 }
 
-func decodeRenewalResp(b []byte) (*RenewalResp, error) {
-	r := newReader(b)
-	p := &RenewalResp{
+// UnmarshalBinary decodes the full wire bytes (including the Kind byte),
+// replacing p.
+func (p *RenewalResp) UnmarshalBinary(b []byte) error {
+	b, err := body(b, KindRenewalResp)
+	if err != nil {
+		return err
+	}
+	r := reader{buf: b}
+	*p = RenewalResp{
 		Requester: NodeID(r.u64()),
 		Denied:    r.boolean(),
 		Cert:      r.certificate(),
 	}
-	return p, r.finish()
+	return r.finish()
 }
 
 // Preimage returns the byte string a Trusted Authority signs when issuing
 // the certificate: every field except the signature itself.
 func (c *Certificate) Preimage() []byte {
-	w := &writer{buf: make([]byte, 0, 28+len(c.PubKey))}
+	w := writer{buf: make([]byte, 0, 28+len(c.PubKey))}
 	w.u64(c.Serial)
 	w.u64(uint64(c.Node))
 	w.u16(uint16(c.Authority))
@@ -616,9 +739,9 @@ func (c *Certificate) Preimage() []byte {
 	return w.buf
 }
 
-// MarshalBinary implements Packet.
-func (p *Secure) MarshalBinary() ([]byte, error) {
-	w := newWriter(KindSecure, 50+len(p.Inner)+len(p.Cert.PubKey)+len(p.Cert.Signature)+len(p.Signature))
+// AppendBinary implements Packet.
+func (p *Secure) AppendBinary(dst []byte) ([]byte, error) {
+	w := start(dst, KindSecure, 50+len(p.Inner)+len(p.Cert.PubKey)+len(p.Cert.Signature)+len(p.Signature))
 	if err := w.bytes(p.Inner); err != nil {
 		return nil, err
 	}
@@ -631,22 +754,103 @@ func (p *Secure) MarshalBinary() ([]byte, error) {
 	return w.buf, nil
 }
 
-func decodeSecure(b []byte) (*Secure, error) {
-	r := newReader(b)
-	p := &Secure{
+// UnmarshalBinary decodes the full wire bytes (including the Kind byte),
+// replacing p. Secure packets are always heap-decoded in protocol code:
+// detection candidates retain the envelope, so the struct must not live in a
+// reused scratch buffer.
+func (p *Secure) UnmarshalBinary(b []byte) error {
+	b, err := body(b, KindSecure)
+	if err != nil {
+		return err
+	}
+	r := reader{buf: b}
+	*p = Secure{
 		Inner:     r.bytes(),
 		Cert:      r.certificate(),
 		Signature: r.bytes(),
 	}
-	return p, r.finish()
+	return r.finish()
+}
+
+// scratch pools small encode buffers for transient marshals (Size, sealing
+// digests) so measuring or hashing a packet does not allocate per call.
+var scratch = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 256)
+		return &b
+	},
+}
+
+// GetScratch borrows a pooled encode buffer (length 0). Pass the returned
+// pointer back to PutScratch when done; the buffer's contents must not be
+// retained past that point.
+func GetScratch() *[]byte { return scratch.Get().(*[]byte) }
+
+// PutScratch returns a buffer borrowed from GetScratch to the pool.
+func PutScratch(b *[]byte) {
+	*b = (*b)[:0]
+	scratch.Put(b)
 }
 
 // Size returns the on-air size of p in bytes, panicking on marshal failure
-// (only possible for over-length variable fields, a programming error).
+// (only possible for over-length variable fields, a programming error). It
+// encodes into a pooled scratch buffer, so it does not allocate.
 func Size(p Packet) int {
-	b, err := p.MarshalBinary()
+	bp := GetScratch()
+	b, err := p.AppendBinary((*bp)[:0])
 	if err != nil {
 		panic(fmt.Sprintf("wire: Size(%v): %v", p.Kind(), err))
 	}
-	return len(b)
+	n := len(b)
+	*bp = b[:0]
+	PutScratch(bp)
+	return n
 }
+
+// MarshalBinary implements Packet.
+func (p *RREQ) MarshalBinary() ([]byte, error) { return p.AppendBinary(nil) }
+
+// MarshalBinary implements Packet.
+func (p *RREP) MarshalBinary() ([]byte, error) { return p.AppendBinary(nil) }
+
+// MarshalBinary implements Packet.
+func (p *RERR) MarshalBinary() ([]byte, error) { return p.AppendBinary(nil) }
+
+// MarshalBinary implements Packet.
+func (p *Hello) MarshalBinary() ([]byte, error) { return p.AppendBinary(nil) }
+
+// MarshalBinary implements Packet.
+func (p *Data) MarshalBinary() ([]byte, error) { return p.AppendBinary(nil) }
+
+// MarshalBinary implements Packet.
+func (p *JoinReq) MarshalBinary() ([]byte, error) { return p.AppendBinary(nil) }
+
+// MarshalBinary implements Packet.
+func (p *JoinRep) MarshalBinary() ([]byte, error) { return p.AppendBinary(nil) }
+
+// MarshalBinary implements Packet.
+func (p *Leave) MarshalBinary() ([]byte, error) { return p.AppendBinary(nil) }
+
+// MarshalBinary implements Packet.
+func (p *DetectReq) MarshalBinary() ([]byte, error) { return p.AppendBinary(nil) }
+
+// MarshalBinary implements Packet.
+func (p *DetectResp) MarshalBinary() ([]byte, error) { return p.AppendBinary(nil) }
+
+// MarshalBinary implements Packet.
+func (p *RevocationReq) MarshalBinary() ([]byte, error) { return p.AppendBinary(nil) }
+
+// MarshalBinary implements Packet.
+func (p *RevocationNotice) MarshalBinary() ([]byte, error) { return p.AppendBinary(nil) }
+
+// MarshalBinary implements Packet.
+func (p *BlacklistNotice) MarshalBinary() ([]byte, error) { return p.AppendBinary(nil) }
+
+// MarshalBinary implements Packet.
+func (p *RenewalReq) MarshalBinary() ([]byte, error) { return p.AppendBinary(nil) }
+
+// MarshalBinary implements Packet.
+func (p *RenewalResp) MarshalBinary() ([]byte, error) { return p.AppendBinary(nil) }
+
+// MarshalBinary implements Packet.
+func (p *Secure) MarshalBinary() ([]byte, error) { return p.AppendBinary(nil) }

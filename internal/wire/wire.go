@@ -100,6 +100,10 @@ type Packet interface {
 	Kind() Kind
 	// MarshalBinary encodes the packet, including its leading Kind byte.
 	MarshalBinary() ([]byte, error)
+	// AppendBinary encodes the packet (including its leading Kind byte)
+	// appended to dst, reusing dst's capacity. A nil dst behaves like
+	// MarshalBinary.
+	AppendBinary(dst []byte) ([]byte, error)
 }
 
 // RREQ is an AODV route request, flooded hop by hop. BlackDP cluster heads

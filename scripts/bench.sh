@@ -1,23 +1,49 @@
 #!/bin/sh
-# Run the service-path benchmarks and write BENCH_serve.json: one object
-# per benchmark with ns/op, B/op and allocs/op, so regressions diff cleanly
-# in review. Usage: scripts/bench.sh [benchtime], default 10x.
+# Run the benchmark suites and write BENCH_serve.json (service path) and
+# BENCH_core.json (scheduler, radio, codec, sweep engine) in one shared
+# schema: one object per benchmark with ns/op, B/op and allocs/op, so
+# regressions diff cleanly in review. Each benchmark runs count times and
+# the median run by ns/op is kept, so one noisy run cannot skew the
+# committed numbers. Usage: scripts/bench.sh [benchtime] [count],
+# defaults 10x and 5.
 set -eu
 cd "$(dirname "$0")/.."
 benchtime="${1:-10x}"
-out="BENCH_serve.json"
-raw="$(go test ./internal/serve -run '^$' -bench . -benchtime "$benchtime" -benchmem -count=1)"
-echo "$raw"
-echo "$raw" | awk -v benchtime="$benchtime" '
-  /^Benchmark/ {
-    name = $1; sub(/-[0-9]+$/, "", name)
-    rows[++n] = sprintf("  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
-                        name, $2, $3, $5, $7)
-  }
-  END {
-    printf "{\n\"benchtime\": \"%s\",\n\"benchmarks\": [\n", benchtime
-    for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], (i < n ? "," : "")
-    print "]\n}"
-  }
-' > "$out"
-echo "wrote $out"
+count="${2:-5}"
+
+emit() {
+	out="$1"
+	shift
+	raw="$(go test "$@" -run '^$' -bench . -benchtime "$benchtime" -benchmem -count="$count")"
+	echo "$raw"
+	echo "$raw" | awk -v benchtime="$benchtime" '
+	  /^Benchmark/ {
+	    name = $1; sub(/-[0-9]+$/, "", name)
+	    seen[name]++
+	    k = name SUBSEP seen[name]
+	    iters[k] = $2; ns[k] = $3; bytes[k] = $5; allocs[k] = $7
+	    if (!(name in order)) { order[name] = ++n; names[n] = name }
+	  }
+	  END {
+	    printf "{\n\"benchtime\": \"%s\",\n\"benchmarks\": [\n", benchtime
+	    for (i = 1; i <= n; i++) {
+	      name = names[i]
+	      runs = seen[name]
+	      for (a = 1; a <= runs; a++) idx[a] = a
+	      for (a = 1; a <= runs; a++)
+	        for (b = a + 1; b <= runs; b++)
+	          if (ns[name SUBSEP idx[b]] + 0 < ns[name SUBSEP idx[a]] + 0) {
+	            t = idx[a]; idx[a] = idx[b]; idx[b] = t
+	          }
+	      m = name SUBSEP idx[int((runs + 1) / 2)]
+	      printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n",
+	             name, iters[m], ns[m], bytes[m], allocs[m], (i < n ? "," : "")
+	    }
+	    print "]\n}"
+	  }
+	' > "$out"
+	echo "wrote $out"
+}
+
+emit BENCH_serve.json ./internal/serve
+emit BENCH_core.json ./internal/sim ./internal/radio ./internal/wire ./internal/exp

@@ -1,0 +1,59 @@
+#!/bin/sh
+# Capture CPU and heap profiles of blackdp-serve under a live sweep.
+#
+# Builds the server, starts it with -pprof on an ephemeral port, submits one
+# long sweep job so the hot path (scheduler, radio, codec, sweep engine) is
+# actually executing, then captures /debug/pprof/profile and
+# /debug/pprof/heap while the job runs. Profiles land in ./profiles/ (or
+# $PROFILE_DIR). Usage: scripts/profile.sh [reps] [cpu_seconds].
+#
+# Inspect the results with:
+#
+#	go tool pprof -top profiles/cpu.pprof
+#	go tool pprof -top -sample_index=alloc_objects profiles/heap.pprof
+set -eu
+cd "$(dirname "$0")/.."
+reps="${1:-200}"
+seconds="${2:-10}"
+outdir="${PROFILE_DIR:-profiles}"
+mkdir -p "$outdir"
+
+go build -o "$outdir/blackdp-serve" ./cmd/blackdp-serve
+"$outdir/blackdp-serve" -addr 127.0.0.1:0 -pprof > "$outdir/serve.log" 2>&1 &
+pid=$!
+trap 'kill "$pid" 2>/dev/null || true' EXIT INT TERM
+
+# The startup handshake line carries the resolved ephemeral port.
+addr=""
+i=0
+while [ "$i" -lt 50 ]; do
+	addr="$(sed -n 's/^blackdp-serve listening on //p' "$outdir/serve.log")"
+	[ -n "$addr" ] && break
+	i=$((i + 1))
+	sleep 0.1
+done
+if [ -z "$addr" ]; then
+	echo "profile.sh: server did not start" >&2
+	cat "$outdir/serve.log" >&2
+	exit 1
+fi
+echo "profiling $addr: sweep of $reps reps, ${seconds}s CPU window"
+
+# Drive load: the differential suite's small-but-real world (4 clusters,
+# 30 vehicles, full detection pipeline) swept with a fresh seed per rep.
+# The job streams NDJSON in the background while the profiles capture.
+curl -sN "http://$addr/v1/jobs" \
+	-d "{\"kind\":\"sweep\",\"reps\":$reps,\"config\":{\"HighwayLengthM\":4000,\"Vehicles\":30,\"AttackerCluster\":2,\"DataPackets\":5,\"MaxSimTime\":45000000000}}" \
+	> "$outdir/sweep.ndjson" &
+loadpid=$!
+
+curl -s "http://$addr/debug/pprof/profile?seconds=$seconds" -o "$outdir/cpu.pprof"
+curl -s "http://$addr/debug/pprof/heap" -o "$outdir/heap.pprof"
+
+wait "$loadpid" || true
+kill -TERM "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+trap - EXIT INT TERM
+
+echo "wrote $outdir/cpu.pprof and $outdir/heap.pprof"
+echo "inspect with: go tool pprof -top $outdir/cpu.pprof"
