@@ -30,6 +30,14 @@
 // reproduce the related-work comparison, including the connector topology
 // where sequence-number heuristics fail.
 //
+// Worlds default to the paper's single clustered highway. Config.Topology
+// composes metro-scale alternatives over the same protocol stack — "grid"
+// (a Manhattan grid city), "multi" (parallel carriageways) and
+// "interchange" (two crossing highways) — and SweepStream aggregates
+// arbitrarily large replication sweeps in bounded memory. Neighbor
+// resolution uses a grid-hash spatial index that is bit-for-bit equivalent
+// to the O(N) scan (Config.LinearScan retains the reference path).
+//
 // The pre-context entry points (RunContext, RunMany, RunSweep, Fig4Sweep,
 // Fig5Sweep, CompareDetectorsSweep) remain as thin deprecated wrappers over
 // the canonical functions.
@@ -62,6 +70,10 @@ type (
 	// Report is the flat JSON projection of a Summary, as emitted by the
 	// blackdp-serve result stream.
 	Report = metrics.Report
+	// Stream folds outcomes into the paper's rates in bounded memory: exact
+	// counters plus a capped-error latency sketch, for sweeps too large to
+	// retain per-replication records.
+	Stream = metrics.Stream
 	// Fig4Point is one attacker-cluster bar of Figure 4.
 	Fig4Point = scenario.Fig4Point
 	// Fig5Category enumerates Figure 5's scenario classes.
@@ -214,6 +226,21 @@ func Sweep(ctx context.Context, cfg Config, reps int, opts ...Option) ([]Outcome
 func RunMany(cfg Config, reps int, mutate func(rep int, c *Config)) ([]Outcome, error) {
 	return Sweep(context.Background(), cfg, reps, WithMutate(mutate))
 }
+
+// SweepStream executes reps runs like [Sweep] but folds every outcome into a
+// bounded-memory [Stream] as it completes instead of retaining the whole
+// outcome slice — memory stays flat no matter how many replications run.
+// While the stream's exact-latency reservoir has not spilled, its Report is
+// bit-identical to aggregating the retained outcomes; past the spill point
+// only the latency percentiles degrade, to a capped 1/64 relative error.
+func SweepStream(ctx context.Context, cfg Config, reps int, opts ...Option) (*Stream, error) {
+	o := buildOptions(opts)
+	return scenario.RunSweepStream(ctx, cfg, reps, o.sweepOptions(), o.mutate)
+}
+
+// NewStream returns an empty streaming aggregate, for callers folding
+// outcomes from their own sources.
+func NewStream() *Stream { return metrics.NewStream() }
 
 // SweepOptions tune a replication sweep: worker-pool size (0 = one per
 // CPU, 1 = the serial path) and optional progress callbacks. It survives

@@ -9,6 +9,7 @@
 //	blackdp-experiments crypto [-reps 10]      # ablation: ECDSA vs free signatures
 //	blackdp-experiments loss [-reps 10]        # ablation: detection under channel loss
 //	blackdp-experiments density [-reps 10]     # ablation: vehicle density (RSU load)
+//	blackdp-experiments topology [-reps 10]    # ablation: highway vs grid/multi/interchange worlds
 //	blackdp-experiments overhead [-reps 10]    # the "lightweight" claim: added air traffic
 //	blackdp-experiments fog                    # SIII-C: RSU auth bottleneck + fog offload
 //	blackdp-experiments faults [-reps 10]      # robustness: head crashes + burst loss
@@ -91,7 +92,7 @@ func emit(run func(params) ([]*report.Table, error), p params, csvDir string) er
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: blackdp-experiments <table1|fig4|fig5|compare|connector|crypto|loss|density|overhead|fog|faults|all> [-reps N] [-seed S] [-workers W] [-csv DIR]")
+	fmt.Fprintln(os.Stderr, "usage: blackdp-experiments <table1|fig4|fig5|compare|connector|crypto|loss|density|topology|overhead|fog|faults|all> [-reps N] [-seed S] [-workers W] [-csv DIR]")
 }
 
 func defaultReps(cmd string) int {

@@ -6,6 +6,7 @@
 //	blackdp-sim -seed 7 -cluster 4 -attack single
 //	blackdp-sim -attack cooperative -cluster 9 -evasive
 //	blackdp-sim -verify=false            # plain AODV, no defence
+//	blackdp-sim -topology grid -grid-rows 3 -grid-cols 3 -cluster 5
 package main
 
 import (
@@ -32,6 +33,12 @@ func main() {
 		loss      = flag.Float64("loss", 0, "per-receiver frame loss probability")
 		evasive   = flag.Bool("evasive", false, "enable evasive attacker behaviour in clusters 8-10")
 		crypto    = flag.Bool("crypto", true, "real ECDSA signatures (false = free placeholder)")
+		topology  = flag.String("topology", "highway", "road layout: highway | grid | multi | interchange")
+		gridRows  = flag.Int("grid-rows", 4, "horizontal roads (topology=grid)")
+		gridCols  = flag.Int("grid-cols", 4, "vertical roads (topology=grid)")
+		highways  = flag.Int("highways", 3, "parallel carriageways (topology=multi)")
+		gap       = flag.Float64("gap", 30, "median gap between carriageways in metres (topology=multi)")
+		linScan   = flag.Bool("linearscan", false, "use the O(N) linear neighbor scan instead of the grid index (differential testing)")
 		confPath  = flag.String("config", "", "JSON config file (flags override its values)")
 		jsonOut   = flag.Bool("json", false, "emit the outcome as JSON instead of prose")
 		tracePath = flag.String("trace", "", "write the structured event log to this file (enables tracing)")
@@ -57,7 +64,13 @@ func main() {
 		"data":     func() { cfg.DataPackets = *dataN },
 		"extra":    func() { cfg.ExtraAttackers = *extra },
 		"loss":     func() { cfg.LossRate = *loss },
-		"crypto":   func() { cfg.RealCrypto = *crypto },
+		"crypto":     func() { cfg.RealCrypto = *crypto },
+		"topology":   func() { cfg.Topology = *topology },
+		"grid-rows":  func() { cfg.GridRows = *gridRows },
+		"grid-cols":  func() { cfg.GridCols = *gridCols },
+		"highways":   func() { cfg.HighwayCount = *highways },
+		"gap":        func() { cfg.HighwayGapM = *gap },
+		"linearscan": func() { cfg.LinearScan = *linScan },
 		"attack": func() {
 			switch *attackS {
 			case "none":
@@ -118,8 +131,8 @@ func main() {
 		return
 	}
 
-	fmt.Printf("run:        seed %d, %s attack, %d vehicles, verify=%v\n",
-		o.Seed, cfg.Attack, cfg.Vehicles, cfg.Vehicle.Verify)
+	fmt.Printf("run:        seed %d, %s attack, %d vehicles on %s topology, verify=%v\n",
+		o.Seed, cfg.Attack, cfg.Vehicles, cfg.Topology, cfg.Vehicle.Verify)
 	if o.AttackerPresent {
 		fmt.Printf("attacker:   cluster %d", o.AttackerCluster)
 		if o.Cooperative {

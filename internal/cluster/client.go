@@ -22,7 +22,7 @@ type ClientCallbacks struct {
 // the blacklist its heads advertise.
 type Client struct {
 	sched   *sim.Scheduler
-	highway *mobility.Highway
+	topo    mobility.Topology
 	mobile  *mobility.Mobile
 	send    Sender
 	self    func() wire.NodeID // current pseudonym (rotates on renewal)
@@ -63,15 +63,15 @@ const joinRetry = time.Second
 // client solicit adjacent heads: the covering head is presumed dead.
 const failoverAfter = 3
 
-// NewClient creates a membership client for a vehicle moving as mobile,
-// transmitting with send and identifying itself with self().
-func NewClient(sched *sim.Scheduler, highway *mobility.Highway, mobile *mobility.Mobile, txRange float64, send Sender, self func() wire.NodeID, cb ClientCallbacks) *Client {
-	if sched == nil || highway == nil || mobile == nil || send == nil || self == nil {
-		panic("cluster: NewClient requires scheduler, highway, mobile, sender and identity")
+// NewClient creates a membership client for a vehicle moving as mobile on
+// topo, transmitting with send and identifying itself with self().
+func NewClient(sched *sim.Scheduler, topo mobility.Topology, mobile *mobility.Mobile, txRange float64, send Sender, self func() wire.NodeID, cb ClientCallbacks) *Client {
+	if sched == nil || topo == nil || mobile == nil || send == nil || self == nil {
+		panic("cluster: NewClient requires scheduler, topology, mobile, sender and identity")
 	}
 	c := &Client{
 		sched:     sched,
-		highway:   highway,
+		topo:      topo,
 		mobile:    mobile,
 		send:      send,
 		self:      self,
@@ -130,7 +130,7 @@ func (c *Client) requestJoin() {
 		PosY:       pos.Y,
 		SpeedMS:    c.mobile.Speed(),
 		Eastbound:  c.mobile.Direction() == mobility.Eastbound,
-		Overlapped: c.highway.OverlapZone(pos.X, c.txRange),
+		Overlapped: len(c.topo.ClustersNear(pos, c.txRange)) > 1,
 		Failover:   c.failover,
 	}
 	b, err := req.MarshalBinary()
@@ -210,18 +210,22 @@ func (c *Client) HandlePacket(p wire.Packet, from wire.NodeID) bool {
 // its current cluster, at which point it sends Leave plus a fresh JoinReq.
 func (c *Client) scheduleBoundaryCrossing() {
 	c.boundaryTimer.Stop()
-	lo, hi := c.highway.ClusterBounds(int(c.cluster))
+	rect := c.topo.ClusterRect(int(c.cluster))
+	lo, hi := rect.X0, rect.X1
+	if c.mobile.Axis() == mobility.AxisY {
+		lo, hi = rect.Y0, rect.Y1
+	}
 	edge := hi
 	if c.mobile.Direction() == mobility.Westbound {
 		edge = lo
 	}
-	at, ok := c.mobile.TimeToReachX(edge)
+	at, ok := c.mobile.TimeToReach(edge)
 	if !ok {
 		return // stationary or already exited
 	}
 	const nudge = 50 * time.Millisecond
-	if edge <= 0 || edge >= c.highway.Length() {
-		// The boundary is the end of the highway: deregister just before
+	if wlo, whi := c.mobile.TravelBounds(); edge <= wlo || edge >= whi {
+		// The boundary is the end of the road: deregister just before
 		// driving out of radio coverage.
 		at -= nudge
 	} else {

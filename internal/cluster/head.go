@@ -36,7 +36,7 @@ type HeadCallbacks struct {
 type Head struct {
 	id      wire.NodeID
 	cluster wire.ClusterID
-	highway *mobility.Highway
+	topo    mobility.Topology
 	sched   *sim.Scheduler
 	send    Sender
 	cb      HeadCallbacks
@@ -63,15 +63,15 @@ type HeadStats struct {
 	Pruned           uint64
 }
 
-// NewHead creates the head for cluster c, transmitting with send.
-func NewHead(id wire.NodeID, c wire.ClusterID, highway *mobility.Highway, sched *sim.Scheduler, send Sender, cb HeadCallbacks) *Head {
-	if id == wire.Broadcast || c == 0 || highway == nil || sched == nil || send == nil {
-		panic("cluster: NewHead requires id, cluster, highway, scheduler and sender")
+// NewHead creates the head for cluster c of topo, transmitting with send.
+func NewHead(id wire.NodeID, c wire.ClusterID, topo mobility.Topology, sched *sim.Scheduler, send Sender, cb HeadCallbacks) *Head {
+	if id == wire.Broadcast || c == 0 || topo == nil || sched == nil || send == nil {
+		panic("cluster: NewHead requires id, cluster, topology, scheduler and sender")
 	}
 	return &Head{
 		id:        id,
 		cluster:   c,
-		highway:   highway,
+		topo:      topo,
 		sched:     sched,
 		send:      send,
 		cb:        cb,
@@ -114,9 +114,9 @@ func (h *Head) handleJoin(p *wire.JoinReq) {
 	// exactly the covering one accepts (paper SIII-A). A failover join — the
 	// vehicle's own head stopped answering — may be admitted by a head one
 	// segment over, so detection service survives a crashed RSU.
-	seg := h.highway.ClusterAt(pos.X)
+	seg := h.topo.ClusterOf(pos)
 	if seg != int(h.cluster) {
-		adjacent := seg == int(h.cluster)-1 || seg == int(h.cluster)+1
+		adjacent := h.topo.Adjacent(seg, int(h.cluster))
 		if !p.Failover || !adjacent {
 			h.stats.RejectedJoins++
 			return

@@ -37,7 +37,7 @@ type Env struct {
 	Trust    *pki.TrustStore
 	Scheme   pki.Scheme
 	Dir      *cluster.Directory
-	Highway  *mobility.Highway
+	Highway  mobility.Topology // road layout; a *mobility.Highway or any mesh
 	Medium   *radio.Medium
 	Backbone *radio.Backbone
 	Tracer   *trace.Recorder // nil disables tracing

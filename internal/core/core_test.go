@@ -17,12 +17,13 @@ import (
 // world is a complete simulated highway: one TA, a head per cluster, and
 // whatever vehicles a test adds.
 type world struct {
-	t     *testing.T
-	env   Env
-	sched *sim.Scheduler
-	ta    *AuthorityAgent
-	heads map[wire.ClusterID]*HeadAgent
-	seq   int
+	t       *testing.T
+	env     Env
+	sched   *sim.Scheduler
+	highway *mobility.Highway
+	ta      *AuthorityAgent
+	heads   map[wire.ClusterID]*HeadAgent
+	seq     int
 }
 
 func newWorld(t *testing.T, seed int64) *world {
@@ -49,7 +50,7 @@ func newWorldWithHeads(t *testing.T, seed int64, headCfg HeadConfig) *world {
 		Tracer:   trace.NewRecorder(sched.Now, 0),
 		Tally:    NewTally(),
 	}
-	w := &world{t: t, env: env, sched: sched, heads: make(map[wire.ClusterID]*HeadAgent)}
+	w := &world{t: t, env: env, sched: sched, highway: highway, heads: make(map[wire.ClusterID]*HeadAgent)}
 
 	served := make([]wire.ClusterID, highway.Clusters())
 	for i := range served {
@@ -84,7 +85,7 @@ func (w *world) addVehicle(x, speedMS float64, dir mobility.Direction, cfg Vehic
 	if err != nil {
 		w.t.Fatal(err)
 	}
-	mob, err := mobility.NewMobile(w.env.Highway, mobility.Position{X: x, Y: 100}, dir, speedMS, w.sched.Now())
+	mob, err := mobility.NewMobile(w.highway, mobility.Position{X: x, Y: 100}, dir, speedMS, w.sched.Now())
 	if err != nil {
 		w.t.Fatal(err)
 	}

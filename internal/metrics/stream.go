@@ -1,0 +1,195 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+	"time"
+)
+
+// streamExactCap is how many detection latencies a Stream keeps exactly.
+// Up to this many, Stream.Report reproduces Summary.Report bit for bit;
+// beyond it the latencies spill into a fixed-size log-linear histogram and
+// the P95 becomes an upper bound within 1/64 relative error.
+const streamExactCap = 4096
+
+// histBuckets covers every positive int64 nanosecond value: 64 unit buckets
+// below 64ns, then 64 sub-buckets per power of two up to 2^63.
+const histBuckets = 64 * 58
+
+// Stream aggregates outcomes incrementally in O(1) memory. Summary retains
+// a slice entry per detecting run, so a metro-scale sweep's aggregation
+// state grows with the replication count; Stream folds each outcome into
+// commutative counters (exact — they are sums, extrema and a confusion
+// matrix) plus a bounded latency sketch. Aside from the P95 of a sweep with
+// more than streamExactCap verdicts, every Report field is bit-identical to
+// the retained-state path; the equivalence tests in this package hold it so.
+//
+// Stream is not safe for concurrent use; sweep engines fold under their
+// collection lock (see scenario.RunSweepStream).
+type Stream struct {
+	runs, tp, fn, fp, tn int
+	preventedOnly        int
+	dataSent             int
+	dataDelivered        int
+
+	pkMin, pkMax, pkSum, pkN int
+
+	latSum   time.Duration
+	latN     int
+	latExact []time.Duration // exact values while latN <= streamExactCap
+	latHist  []uint64        // log-linear sketch once the reservoir spills
+}
+
+// NewStream returns an empty streaming aggregator.
+func NewStream() *Stream { return &Stream{} }
+
+// Add folds one outcome into the stream. After the latency reservoir is
+// warm it allocates nothing.
+func (s *Stream) Add(o Outcome) {
+	s.runs++
+	tp, fn, fp, tn := o.Classify()
+	if tp {
+		s.tp++
+	}
+	if fn {
+		s.fn++
+	}
+	if fp {
+		s.fp++
+	}
+	if tn {
+		s.tn++
+	}
+	if o.AttackerPresent && !o.Detected && o.Prevented {
+		s.preventedOnly++
+	}
+	if o.DetectionPackets > 0 {
+		if s.pkN == 0 || o.DetectionPackets < s.pkMin {
+			s.pkMin = o.DetectionPackets
+		}
+		if o.DetectionPackets > s.pkMax {
+			s.pkMax = o.DetectionPackets
+		}
+		s.pkSum += o.DetectionPackets
+		s.pkN++
+	}
+	if o.DetectionLatency > 0 {
+		s.addLatency(o.DetectionLatency)
+	}
+	s.dataSent += o.DataSent
+	s.dataDelivered += o.DataDelivered
+}
+
+func (s *Stream) addLatency(d time.Duration) {
+	s.latSum += d
+	s.latN++
+	if s.latHist == nil {
+		if s.latN <= streamExactCap {
+			if s.latExact == nil {
+				s.latExact = make([]time.Duration, 0, streamExactCap)
+			}
+			s.latExact = append(s.latExact, d)
+			return
+		}
+		// The reservoir just spilled: fold what it holds into the sketch
+		// and aggregate there from now on.
+		s.latHist = make([]uint64, histBuckets)
+		for _, v := range s.latExact {
+			s.latHist[histBucket(v)]++
+		}
+		s.latExact = nil
+	}
+	s.latHist[histBucket(d)]++
+}
+
+// histBucket maps a positive duration to its sketch bucket.
+func histBucket(d time.Duration) int {
+	v := int64(d)
+	if v < 1 {
+		v = 1
+	}
+	if v < 64 {
+		return int(v)
+	}
+	e := bits.Len64(uint64(v)) // 7..63
+	return 64*(e-6) + int((v>>(uint(e)-7))&63)
+}
+
+// bucketUpper returns the largest duration mapping to bucket b — reporting
+// the bucket's upper edge keeps the sketched percentile an upper bound on
+// the exact one, within 1/64 relative error.
+func bucketUpper(b int) time.Duration {
+	if b < 64 {
+		return time.Duration(b)
+	}
+	e := uint(b/64 + 6)
+	sub := uint64(b % 64)
+	hi := (64 + sub + 1) << (e - 7)
+	if hi == 0 || hi-1 > math.MaxInt64 { // 2^63 wrapped or exceeded
+		return math.MaxInt64
+	}
+	return time.Duration(hi - 1)
+}
+
+// Runs returns how many outcomes have been folded in.
+func (s *Stream) Runs() int { return s.runs }
+
+// LatencyPercentile mirrors Summary.LatencyPercentile: exact nearest-rank
+// while the reservoir holds, the sketch's bucket upper edge after it spills.
+func (s *Stream) LatencyPercentile(p float64) time.Duration {
+	if s.latN == 0 || p <= 0 {
+		return 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	rank := int(math.Ceil(p / 100 * float64(s.latN)))
+	if rank < 1 {
+		rank = 1
+	}
+	if s.latHist == nil {
+		sorted := append([]time.Duration(nil), s.latExact...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		return sorted[rank-1]
+	}
+	cum := 0
+	for b, n := range s.latHist {
+		cum += int(n)
+		if cum >= rank {
+			return bucketUpper(b)
+		}
+	}
+	return bucketUpper(histBuckets - 1)
+}
+
+// Report projects the stream into the same flattened form as
+// Summary.Report.
+func (s *Stream) Report() Report {
+	var pkMean float64
+	if s.pkN > 0 {
+		pkMean = float64(s.pkSum) / float64(s.pkN)
+	}
+	var meanLat time.Duration
+	if s.latN > 0 {
+		meanLat = s.latSum / time.Duration(s.latN)
+	}
+	return Report{
+		Runs:                 s.runs,
+		TP:                   s.tp,
+		FN:                   s.fn,
+		FP:                   s.fp,
+		TN:                   s.tn,
+		Accuracy:             ratio(s.tp+s.tn, s.runs),
+		TPRate:               ratio(s.tp, s.tp+s.fn),
+		FNRate:               ratio(s.fn, s.tp+s.fn),
+		FPRate:               ratio(s.fp, s.runs),
+		DeliveryRatio:        ratio(s.dataDelivered, s.dataSent),
+		PreventedOnly:        s.preventedOnly,
+		DetectionPacketsMin:  s.pkMin,
+		DetectionPacketsMean: pkMean,
+		DetectionPacketsMax:  s.pkMax,
+		MeanLatency:          meanLat,
+		P95Latency:           s.LatencyPercentile(95),
+	}
+}

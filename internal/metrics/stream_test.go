@@ -1,0 +1,136 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// randomOutcome draws a plausible outcome mix: attacker runs, clean runs,
+// false accusations, detections with packet counts and latencies.
+func randomOutcome(rng *rand.Rand) Outcome {
+	o := Outcome{
+		AttackerPresent: rng.Intn(4) != 0,
+		DataSent:        rng.Intn(20),
+	}
+	o.DataDelivered = rng.Intn(o.DataSent + 1)
+	if o.AttackerPresent {
+		o.Detected = rng.Intn(3) != 0
+		if o.Detected {
+			o.DetectionPackets = 5 + rng.Intn(40)
+			o.DetectionLatency = time.Duration(1+rng.Intn(5_000_000_000)) * time.Nanosecond
+		} else {
+			o.Prevented = rng.Intn(2) == 0
+		}
+	}
+	if rng.Intn(20) == 0 {
+		o.FalseAccusations = 1
+	}
+	return o
+}
+
+// TestStreamMatchesSummary holds Stream.Report bit-identical to the
+// retained-state Summary.Report while the latency reservoir is exact.
+func TestStreamMatchesSummary(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var sum Summary
+	st := NewStream()
+	for i := 0; i < 3000; i++ {
+		o := randomOutcome(rng)
+		sum.Add(o)
+		st.Add(o)
+	}
+	if got, want := st.Report(), sum.Report(); got != want {
+		t.Fatalf("stream report diverged:\n got %+v\nwant %+v", got, want)
+	}
+	if st.Runs() != sum.Runs {
+		t.Fatalf("Runs() = %d, want %d", st.Runs(), sum.Runs)
+	}
+}
+
+// TestStreamSketchedP95 checks the spilled-reservoir path: every field but
+// the P95 stays exact, and the sketched P95 is an upper bound on the exact
+// one within 1/64 relative error.
+func TestStreamSketchedP95(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var sum Summary
+	st := NewStream()
+	for i := 0; i < 3*streamExactCap; i++ {
+		o := Outcome{
+			AttackerPresent:  true,
+			Detected:         true,
+			DetectionPackets: 1 + rng.Intn(50),
+			DetectionLatency: time.Duration(1 + rng.Int63n(int64(10*time.Second))),
+		}
+		sum.Add(o)
+		st.Add(o)
+	}
+	got, want := st.Report(), sum.Report()
+	exact, sketched := want.P95Latency, got.P95Latency
+	if sketched < exact {
+		t.Errorf("sketched P95 %v below exact %v", sketched, exact)
+	}
+	if lim := exact + exact/64; sketched > lim {
+		t.Errorf("sketched P95 %v beyond 1/64 bound %v (exact %v)", sketched, lim, exact)
+	}
+	got.P95Latency, want.P95Latency = 0, 0
+	if got != want {
+		t.Fatalf("non-P95 fields diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestStreamBucketRoundTrip pins the sketch's error bound: for any positive
+// duration, the bucket's upper edge is >= the value and within 1/64 of it.
+func TestStreamBucketRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	check := func(v time.Duration) {
+		t.Helper()
+		up := bucketUpper(histBucket(v))
+		if up < v {
+			t.Fatalf("bucketUpper(histBucket(%d)) = %d < value", v, up)
+		}
+		if v >= 64 && uint64(up) > uint64(v)+uint64(v)/64 {
+			t.Fatalf("bucketUpper(histBucket(%d)) = %d beyond 1/64 bound", v, up)
+		}
+	}
+	for _, v := range []time.Duration{1, 2, 63, 64, 65, 127, 128, 1 << 20, 1<<62 + 12345, 1<<63 - 1} {
+		check(v)
+	}
+	for i := 0; i < 10000; i++ {
+		check(time.Duration(1 + rng.Int63()))
+	}
+}
+
+// TestStreamAddAllocs pins the hot path: once the reservoir has spilled into
+// the fixed-size sketch, folding an outcome allocates nothing.
+func TestStreamAddAllocs(t *testing.T) {
+	st := NewStream()
+	warm := Outcome{AttackerPresent: true, Detected: true, DetectionPackets: 7, DetectionLatency: time.Second}
+	for i := 0; i < streamExactCap+2; i++ {
+		st.Add(warm)
+	}
+	if n := testing.AllocsPerRun(100, func() { st.Add(warm) }); n != 0 {
+		t.Fatalf("Add allocated %.1f times per run after warm-up", n)
+	}
+}
+
+// TestStreamBoundedRetention is the memory regression test: unlike Summary,
+// whose latency and packet slices grow with every detecting run, the
+// stream's state stays at the fixed sketch size no matter how many outcomes
+// are folded in.
+func TestStreamBoundedRetention(t *testing.T) {
+	st := NewStream()
+	o := Outcome{AttackerPresent: true, Detected: true, DetectionPackets: 3, DetectionLatency: time.Millisecond}
+	for i := 0; i < 100*streamExactCap; i++ {
+		st.Add(o)
+	}
+	if st.latExact != nil {
+		t.Errorf("exact reservoir retained after spill: %d entries", len(st.latExact))
+	}
+	if len(st.latHist) != histBuckets {
+		t.Errorf("sketch size = %d buckets, want %d", len(st.latHist), histBuckets)
+	}
+	if st.latN != 100*streamExactCap {
+		t.Errorf("latN = %d, want %d", st.latN, 100*streamExactCap)
+	}
+}

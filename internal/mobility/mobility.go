@@ -174,7 +174,7 @@ type Locator interface {
 // Static is a stationary Locator (RSUs, trusted-authority uplinks).
 type Static struct {
 	Pos Position
-	H   *Highway
+	H   Topology
 }
 
 var _ Locator = Static{}
@@ -186,19 +186,33 @@ func (s Static) PositionAt(time.Duration) Position { return s.Pos }
 // the roadside whether or not their coordinates fall on the road surface.
 func (s Static) OnHighwayAt(time.Duration) bool { return true }
 
-// Mobile is a vehicle trajectory: piecewise-constant speed along the highway
-// axis at a fixed lateral offset. The zero value is unusable; construct with
-// NewMobile.
-type Mobile struct {
-	h *Highway
+// MotionAt implements Kinematic: a static node never moves.
+func (s Static) MotionAt(time.Duration) (Position, Velocity, time.Duration) {
+	return s.Pos, Velocity{}, 0
+}
 
-	// Re-based kinematic state: position/speed valid from time base onward.
+// OnMotionChange implements Kinematic: a static trajectory never re-bases.
+func (s Static) OnMotionChange(func()) {}
+
+// Mobile is a vehicle trajectory: piecewise-constant speed along one road's
+// travel axis at a fixed lateral offset. The zero value is unusable;
+// construct with NewMobile (the paper's highway) or NewMobileOnRoad (mesh
+// topologies).
+type Mobile struct {
+	topo Topology
+	axis Axis
+	// Travel extent along axis; positions clamp to [lo, hi].
+	lo, hi float64
+	cross  float64 // fixed lateral coordinate
+
+	// Re-based kinematic state: along/speed valid from time base onward.
 	base  time.Duration
-	pos   Position
+	along float64
 	speed float64 // m/s, always >= 0
 	dir   Direction
 
-	exited bool // permanently left the highway (fled or reached the end)
+	exited   bool // permanently left the road (fled or reached the end)
+	onChange []func()
 }
 
 // NewMobile creates a vehicle at start, travelling in dir at speed m/s from
@@ -216,10 +230,40 @@ func NewMobile(h *Highway, start Position, dir Direction, speed float64, t0 time
 	if dir != Eastbound && dir != Westbound {
 		return nil, fmt.Errorf("mobility: invalid direction %v", dir)
 	}
-	return &Mobile{h: h, base: t0, pos: start, speed: speed, dir: dir}, nil
+	return &Mobile{
+		topo: h, axis: AxisX, lo: 0, hi: h.length, cross: start.Y,
+		base: t0, along: start.X, speed: speed, dir: dir,
+	}, nil
 }
 
-var _ Locator = (*Mobile)(nil)
+// NewMobileOnRoad creates a vehicle on one road strip of topo, starting at
+// start (which must lie on the road), travelling in dir along the road's
+// travel axis at speed m/s from virtual time t0. Positions clamp to the
+// road's extent, exactly as on the single highway.
+func NewMobileOnRoad(topo Topology, road Road, start Position, dir Direction, speed float64, t0 time.Duration) (*Mobile, error) {
+	if topo == nil {
+		return nil, fmt.Errorf("mobility: NewMobileOnRoad requires a topology")
+	}
+	if !road.Rect().Contains(start) {
+		return nil, fmt.Errorf("mobility: start %v is off the road", start)
+	}
+	if speed < 0 {
+		return nil, fmt.Errorf("mobility: speed %v must be non-negative", speed)
+	}
+	if dir != Eastbound && dir != Westbound {
+		return nil, fmt.Errorf("mobility: invalid direction %v", dir)
+	}
+	return &Mobile{
+		topo: topo, axis: road.Axis, lo: road.Lo, hi: road.Hi, cross: road.Cross(start),
+		base: t0, along: road.Along(start), speed: speed, dir: dir,
+	}, nil
+}
+
+var (
+	_ Locator   = (*Mobile)(nil)
+	_ Kinematic = (*Mobile)(nil)
+	_ Kinematic = Static{}
+)
 
 // Speed returns the current speed in m/s.
 func (m *Mobile) Speed() float64 { return m.speed }
@@ -227,25 +271,35 @@ func (m *Mobile) Speed() float64 { return m.speed }
 // Direction returns the travel direction.
 func (m *Mobile) Direction() Direction { return m.dir }
 
-// PositionAt implements Locator. Positions are clamped to the highway ends;
-// use OnHighwayAt to detect departure.
+// Axis returns the travel axis (AxisX on the single highway).
+func (m *Mobile) Axis() Axis { return m.axis }
+
+// TravelBounds returns the [lo, hi] travel extent along the axis. On the
+// single highway this is [0, length].
+func (m *Mobile) TravelBounds() (lo, hi float64) { return m.lo, m.hi }
+
+// PositionAt implements Locator. Positions are clamped to the road ends; use
+// OnHighwayAt to detect departure.
 func (m *Mobile) PositionAt(t time.Duration) Position {
-	x := m.rawX(t)
-	if x < 0 {
-		x = 0
+	a := m.rawAlong(t)
+	if a < m.lo {
+		a = m.lo
 	}
-	if x > m.h.length {
-		x = m.h.length
+	if a > m.hi {
+		a = m.hi
 	}
-	return Position{X: x, Y: m.pos.Y}
+	if m.axis == AxisY {
+		return Position{X: m.cross, Y: a}
+	}
+	return Position{X: a, Y: m.cross}
 }
 
-func (m *Mobile) rawX(t time.Duration) float64 {
+func (m *Mobile) rawAlong(t time.Duration) float64 {
 	dt := t - m.base
 	if dt < 0 {
 		dt = 0 // history before the last re-base is not retained
 	}
-	return m.pos.X + m.dir.Sign()*m.speed*dt.Seconds()
+	return m.along + m.dir.Sign()*m.speed*dt.Seconds()
 }
 
 // OnHighwayAt implements Locator.
@@ -253,13 +307,51 @@ func (m *Mobile) OnHighwayAt(t time.Duration) bool {
 	if m.exited {
 		return false
 	}
-	x := m.rawX(t)
-	return x >= 0 && x <= m.h.length
+	a := m.rawAlong(t)
+	return a >= m.lo && a <= m.hi
 }
 
 // ClusterAt returns the 1-based cluster index the vehicle occupies at t.
 func (m *Mobile) ClusterAt(t time.Duration) int {
-	return m.h.ClusterAt(m.PositionAt(t).X)
+	return m.topo.ClusterOf(m.PositionAt(t))
+}
+
+// MotionAt implements Kinematic.
+func (m *Mobile) MotionAt(t time.Duration) (Position, Velocity, time.Duration) {
+	pos := m.PositionAt(t)
+	if m.exited || m.speed == 0 {
+		return pos, Velocity{}, 0
+	}
+	raw := m.rawAlong(t)
+	if raw < m.lo || raw > m.hi {
+		// Clamped at a road end: the position froze there permanently (speed
+		// is constant, so the raw coordinate never re-enters the extent).
+		return pos, Velocity{}, 0
+	}
+	v := m.dir.Sign() * m.speed
+	edge := m.hi
+	if v < 0 {
+		edge = m.lo
+	}
+	sec := (edge - raw) / v // >= 0: seconds until the clamp takes over
+	horizon := time.Duration(0)
+	if ns := sec * float64(time.Second); ns < float64(1<<62) {
+		horizon = t + time.Duration(ns)
+	}
+	vel := Velocity{VX: v}
+	if m.axis == AxisY {
+		vel = Velocity{VY: v}
+	}
+	return pos, vel, horizon
+}
+
+// OnMotionChange implements Kinematic.
+func (m *Mobile) OnMotionChange(fn func()) { m.onChange = append(m.onChange, fn) }
+
+func (m *Mobile) motionChanged() {
+	for _, fn := range m.onChange {
+		fn()
+	}
 }
 
 // SetSpeed re-bases the trajectory at time now with a new speed, preserving
@@ -270,6 +362,7 @@ func (m *Mobile) SetSpeed(now time.Duration, speed float64) error {
 	}
 	m.rebase(now)
 	m.speed = speed
+	m.motionChanged()
 	return nil
 }
 
@@ -279,24 +372,32 @@ func (m *Mobile) Exit(now time.Duration) {
 	m.rebase(now)
 	m.speed = 0
 	m.exited = true
+	m.motionChanged()
 }
 
 // Exited reports whether Exit has been called.
 func (m *Mobile) Exited() bool { return m.exited }
 
 func (m *Mobile) rebase(now time.Duration) {
-	m.pos = m.PositionAt(now)
+	a := m.rawAlong(now)
+	if a < m.lo {
+		a = m.lo
+	}
+	if a > m.hi {
+		a = m.hi
+	}
+	m.along = a
 	m.base = now
 }
 
-// TimeToReachX returns the virtual time at which the vehicle first reaches
-// longitudinal coordinate x, and whether it ever does (given its current
-// speed and direction, and ignoring the highway end).
-func (m *Mobile) TimeToReachX(x float64) (time.Duration, bool) {
+// TimeToReach returns the virtual time at which the vehicle first reaches
+// the given coordinate along its travel axis, and whether it ever does
+// (given its current speed and direction, and ignoring the road end).
+func (m *Mobile) TimeToReach(coord float64) (time.Duration, bool) {
 	if m.exited {
 		return 0, false
 	}
-	dx := x - m.pos.X
+	dx := coord - m.along
 	if dx == 0 {
 		return m.base, true
 	}
@@ -307,8 +408,12 @@ func (m *Mobile) TimeToReachX(x float64) (time.Duration, bool) {
 	return m.base + time.Duration(dx/v*float64(time.Second)), true
 }
 
+// TimeToReachX is TimeToReach under its historical, highway-era name (the
+// travel axis was always X).
+func (m *Mobile) TimeToReachX(x float64) (time.Duration, bool) { return m.TimeToReach(x) }
+
 // DepartureTime returns the virtual time at which the vehicle leaves the
-// highway by travelling past an end, and whether it ever does.
+// road by travelling past an end, and whether it ever does.
 func (m *Mobile) DepartureTime() (time.Duration, bool) {
 	if m.exited {
 		return m.base, true
@@ -316,9 +421,9 @@ func (m *Mobile) DepartureTime() (time.Duration, bool) {
 	if m.speed == 0 {
 		return 0, false
 	}
-	edge := m.h.length
+	edge := m.hi
 	if m.dir == Westbound {
-		edge = 0
+		edge = m.lo
 	}
-	return m.TimeToReachX(edge)
+	return m.TimeToReach(edge)
 }

@@ -1,0 +1,56 @@
+package radio
+
+import (
+	"math"
+	"testing"
+
+	"blackdp/internal/mobility"
+	"blackdp/internal/sim"
+	"blackdp/internal/wire"
+)
+
+// benchIndexMedium spreads n statics over a square at constant density
+// (250 m spacing, ~55 devices inside any 1000 m disk regardless of n), so
+// the neighbor-resolution benchmarks measure scaling in world size, not in
+// neighborhood size.
+func benchIndexMedium(b *testing.B, n int, opts ...Option) *Interface {
+	b.Helper()
+	side := int(math.Ceil(math.Sqrt(float64(n))))
+	const spacing = 250.0
+	m := NewMedium(sim.NewScheduler(), sim.NewRNG(1), opts...)
+	var center *Interface
+	for i := 0; i < n; i++ {
+		p := mobility.Position{X: float64(i%side) * spacing, Y: float64(i/side) * spacing}
+		ifc := m.Attach(wire.NodeID(i+1), mobility.Static{Pos: p}, func(Frame) {})
+		if i == n/2 {
+			center = ifc
+		}
+	}
+	return center
+}
+
+func benchmarkNeighborResolution(b *testing.B, n int, opts ...Option) {
+	center := benchIndexMedium(b, n, opts...)
+	var buf []wire.NodeID
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = center.AppendNeighbors(buf[:0])
+	}
+	if len(buf) == 0 {
+		b.Fatal("no neighbors resolved")
+	}
+}
+
+func BenchmarkNeighborResolutionGrid1k(b *testing.B)   { benchmarkNeighborResolution(b, 1_000) }
+func BenchmarkNeighborResolutionGrid10k(b *testing.B)  { benchmarkNeighborResolution(b, 10_000) }
+func BenchmarkNeighborResolutionGrid100k(b *testing.B) { benchmarkNeighborResolution(b, 100_000) }
+
+func BenchmarkNeighborResolutionLinear1k(b *testing.B) {
+	benchmarkNeighborResolution(b, 1_000, WithLinearScan())
+}
+func BenchmarkNeighborResolutionLinear10k(b *testing.B) {
+	benchmarkNeighborResolution(b, 10_000, WithLinearScan())
+}
+func BenchmarkNeighborResolutionLinear100k(b *testing.B) {
+	benchmarkNeighborResolution(b, 100_000, WithLinearScan())
+}

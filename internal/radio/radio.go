@@ -14,6 +14,7 @@ package radio
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"blackdp/internal/mobility"
@@ -96,6 +97,15 @@ func WithReordering(p float64, maxExtra time.Duration) Option {
 	return func(m *Medium) { m.reorderProb, m.reorderMax = p, maxExtra }
 }
 
+// WithLinearScan disables the grid-hash neighbor index: receivers resolve by
+// scanning every attached device, the medium's original O(N) reference path.
+// Indexed and linear media produce byte-identical simulations (the
+// differential suite holds this); the option exists to prove exactly that,
+// and as an escape hatch.
+func WithLinearScan() Option {
+	return func(m *Medium) { m.linearScan = true }
+}
+
 // burstState is the Gilbert–Elliott channel state.
 type burstState struct {
 	lossGood, lossBad    float64
@@ -116,7 +126,10 @@ type Medium struct {
 	reorderProb float64
 	reorderMax  time.Duration
 
+	linearScan bool
+
 	devices []*Interface
+	index   *cellIndex // nil under WithLinearScan (or a degenerate range)
 	stats   Stats
 
 	// deliver is the single scheduler callback shared by every in-flight
@@ -152,6 +165,9 @@ func NewMedium(sched *sim.Scheduler, rng *sim.RNG, opts ...Option) *Medium {
 	}
 	for _, opt := range opts {
 		opt(m)
+	}
+	if !m.linearScan && m.txRange > 0 && !math.IsInf(m.txRange, 0) {
+		m.index = newCellIndex(m.txRange)
 	}
 	m.deliver = m.deliverCopy
 	return m
@@ -193,8 +209,11 @@ func (m *Medium) Attach(id wire.NodeID, loc mobility.Locator, recv Receiver) *In
 	if id == wire.Broadcast {
 		panic("radio: cannot attach with the broadcast NodeID")
 	}
-	ifc := &Interface{medium: m, id: id, loc: loc, recv: recv}
+	ifc := &Interface{medium: m, id: id, loc: loc, recv: recv, seq: len(m.devices)}
 	m.devices = append(m.devices, ifc)
+	if m.index != nil {
+		m.index.add(ifc, m.sched.Now())
+	}
 	return ifc
 }
 
@@ -206,6 +225,15 @@ type Interface struct {
 	recv     Receiver
 	detached bool
 	silenced bool
+
+	// Spatial-index state (see cellIndex). seq is the attach order the
+	// linear scan iterates in and the index merges by.
+	seq    int
+	kin    mobility.Kinematic
+	cell   cellKey
+	inCell bool
+	dirty  bool
+	gen    uint64
 }
 
 // NodeID returns the device's current pseudonym.
@@ -217,6 +245,9 @@ func (i *Interface) NodeID() wire.NodeID { return i.id }
 func (i *Interface) SetNodeID(id wire.NodeID) {
 	if id == wire.Broadcast {
 		panic("radio: cannot take the broadcast NodeID")
+	}
+	if x := i.medium.index; x != nil && id != i.id && !i.detached {
+		x.rename(i, i.id, id)
 	}
 	i.id = id
 }
@@ -231,7 +262,15 @@ func (i *Interface) SetReceiver(recv Receiver) {
 }
 
 // Detach removes the device from the channel permanently.
-func (i *Interface) Detach() { i.detached = true }
+func (i *Interface) Detach() {
+	if i.detached {
+		return
+	}
+	i.detached = true
+	if x := i.medium.index; x != nil {
+		x.remove(i)
+	}
+}
 
 // SetSilenced pauses (true) or resumes (false) the radio without detaching;
 // a silenced device neither sends nor receives.
@@ -265,32 +304,58 @@ func (i *Interface) Send(to wire.NodeID, payload []byte) bool {
 	txDelay := time.Duration(float64(len(payload)*8) / m.bitrate * float64(time.Second))
 	acked := to == wire.Broadcast
 	frame := Frame{From: from, To: to, Payload: payload}
-	for _, dev := range m.devices {
-		if dev == i || !dev.active(now) {
-			continue
+	switch {
+	case m.index == nil:
+		for _, dev := range m.devices {
+			if m.consider(i, dev, to, frame, src, txDelay, now) {
+				acked = true
+			}
 		}
-		if to != wire.Broadcast && dev.id != to {
-			continue
+	case to != wire.Broadcast:
+		// The linear path draws no RNG for non-addressees, so resolving the
+		// addressee through the pseudonym map is draw-for-draw identical.
+		for _, dev := range m.index.byID[to] {
+			if m.consider(i, dev, to, frame, src, txDelay, now) {
+				acked = true
+			}
 		}
-		dist := src.DistanceTo(dev.loc.PositionAt(now))
-		if dist > m.txRange {
-			continue
-		}
-		if m.offerCopy(dev, frame, txDelay, dist) {
-			acked = true
-		}
-		// Fault injection: a duplicate copy races the original with its own
-		// loss draw and jitter. The probability check short-circuits so an
-		// unconfigured medium draws exactly the same RNG sequence as before.
-		if m.dupProb > 0 && m.rng.Bool(m.dupProb) {
-			m.stats.count(&m.stats.DuplicatedFrames, payload, len(payload))
-			if m.offerCopy(dev, frame, txDelay, dist) {
+	default:
+		m.index.refresh(now)
+		for _, dev := range m.index.collect(src) {
+			if m.consider(i, dev, to, frame, src, txDelay, now) {
 				acked = true
 			}
 		}
 	}
 	if !acked {
 		m.stats.count(&m.stats.UnackedFrames, payload, len(payload))
+	}
+	return acked
+}
+
+// consider is the per-candidate body of Send, shared verbatim by the linear
+// scan and both index paths so their RNG draw sequences cannot diverge. It
+// reports whether a copy survived the loss process (the ack).
+func (m *Medium) consider(sender, dev *Interface, to wire.NodeID, frame Frame, src mobility.Position, txDelay time.Duration, now time.Duration) bool {
+	if dev == sender || !dev.active(now) {
+		return false
+	}
+	if to != wire.Broadcast && dev.id != to {
+		return false
+	}
+	dist := src.DistanceTo(dev.loc.PositionAt(now))
+	if dist > m.txRange {
+		return false
+	}
+	acked := m.offerCopy(dev, frame, txDelay, dist)
+	// Fault injection: a duplicate copy races the original with its own
+	// loss draw and jitter. The probability check short-circuits so an
+	// unconfigured medium draws exactly the same RNG sequence as before.
+	if m.dupProb > 0 && m.rng.Bool(m.dupProb) {
+		m.stats.count(&m.stats.DuplicatedFrames, frame.Payload, len(frame.Payload))
+		if m.offerCopy(dev, frame, txDelay, dist) {
+			acked = true
+		}
 	}
 	return acked
 }
@@ -374,6 +439,18 @@ func (i *Interface) AppendNeighbors(dst []wire.NodeID) []wire.NodeID {
 		return dst
 	}
 	src := i.loc.PositionAt(now)
+	if m.index != nil {
+		m.index.refresh(now)
+		for _, dev := range m.index.collect(src) {
+			if dev == i || !dev.active(now) {
+				continue
+			}
+			if src.DistanceTo(dev.loc.PositionAt(now)) <= m.txRange {
+				dst = append(dst, dev.id)
+			}
+		}
+		return dst
+	}
 	for _, dev := range m.devices {
 		if dev == i || !dev.active(now) {
 			continue

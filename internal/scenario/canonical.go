@@ -17,7 +17,9 @@ import (
 //   - sorts and deduplicates EvasiveClusters (membership is a set; the
 //     world materialises it as a map, so order never reaches the RNG),
 //   - clears Trace (the recorder only observes; the differential suite
-//     holds runs byte-identical with tracing on or off), and
+//     holds runs byte-identical with tracing on or off),
+//   - clears LinearScan (the spatial index is byte-for-bit invisible; the
+//     differential suite holds indexed and linear runs identical), and
 //   - marshals with encoding/json, which emits struct fields in declaration
 //     order — deterministic because Config and fault.Plan are plain data
 //     with no maps.
@@ -47,6 +49,7 @@ func Canonical(cfg Config) ([]byte, error) {
 		cfg.EvasiveClusters = nil
 	}
 	cfg.Trace = false
+	cfg.LinearScan = false
 	b, err := json.Marshal(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("scenario: canonicalising config: %w", err)

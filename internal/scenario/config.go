@@ -53,6 +53,24 @@ type Config struct {
 	ClusterLengthM float64 // 1000 m
 	TxRangeM       float64 // 1000 m
 
+	// Topology selects the road layout: "highway" (the paper's Table I
+	// world, default), "grid" (Manhattan grid of GridRows×GridCols roads),
+	// "multi" (HighwayCount parallel carriageways separated by HighwayGapM)
+	// or "interchange" (two highways crossing at their midpoints). The
+	// highway fields above parameterise every layout: road length, road
+	// width and cluster length.
+	Topology     string
+	GridRows     int     // horizontal roads in a "grid" world (default 4)
+	GridCols     int     // vertical roads in a "grid" world (default 4)
+	HighwayCount int     // carriageways in a "multi" world (default 3)
+	HighwayGapM  float64 // median width between "multi" carriageways (default 30)
+
+	// LinearScan disables the radio medium's grid-hash spatial index and
+	// restores the O(N) neighbor scan. The two are byte-identical (the
+	// differential suite proves it); this is the reference path for that
+	// proof and an escape hatch, not a tuning knob.
+	LinearScan bool
+
 	// Population (Table I).
 	Vehicles    int     // 100
 	SpeedMinKmh float64 // 50
@@ -108,6 +126,11 @@ func DefaultConfig() Config {
 		HighwayWidthM:   200,
 		ClusterLengthM:  1000,
 		TxRangeM:        1000,
+		Topology:        "highway",
+		GridRows:        4,
+		GridCols:        4,
+		HighwayCount:    3,
+		HighwayGapM:     30,
 		Vehicles:        100,
 		SpeedMinKmh:     50,
 		SpeedMaxKmh:     90,
@@ -139,6 +162,21 @@ func (c Config) withDefaults() Config {
 	if c.TxRangeM == 0 {
 		c.TxRangeM = def.TxRangeM
 	}
+	if c.Topology == "" {
+		c.Topology = def.Topology
+	}
+	if c.GridRows == 0 {
+		c.GridRows = def.GridRows
+	}
+	if c.GridCols == 0 {
+		c.GridCols = def.GridCols
+	}
+	if c.HighwayCount == 0 {
+		c.HighwayCount = def.HighwayCount
+	}
+	if c.HighwayGapM == 0 {
+		c.HighwayGapM = def.HighwayGapM
+	}
 	if c.Vehicles == 0 {
 		c.Vehicles = def.Vehicles
 	}
@@ -166,10 +204,39 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// clusterCount returns how many clusters the configured topology has; the
+// per-topology constructors in internal/mobility build exactly this many.
+func (c Config) clusterCount() int {
+	n := int(c.HighwayLengthM / c.ClusterLengthM)
+	switch c.Topology {
+	case "grid":
+		return 2 * c.GridRows * c.GridCols
+	case "multi":
+		return n * c.HighwayCount
+	case "interchange":
+		return 2 * n
+	default: // "highway"
+		return n
+	}
+}
+
 // Validate rejects impossible configurations.
 func (c Config) Validate() error {
 	c = c.withDefaults()
-	clusters := int(c.HighwayLengthM / c.ClusterLengthM)
+	switch c.Topology {
+	case "highway", "grid", "multi", "interchange":
+	default:
+		return fmt.Errorf("scenario: unknown topology %q", c.Topology)
+	}
+	switch {
+	case c.GridRows < 1 || c.GridRows > 64 || c.GridCols < 1 || c.GridCols > 64:
+		return fmt.Errorf("scenario: grid %dx%d out of range [1, 64]", c.GridRows, c.GridCols)
+	case c.HighwayCount < 1 || c.HighwayCount > 64:
+		return fmt.Errorf("scenario: %d carriageways out of range [1, 64]", c.HighwayCount)
+	case c.HighwayGapM < 0:
+		return fmt.Errorf("scenario: carriageway gap %v negative", c.HighwayGapM)
+	}
+	clusters := c.clusterCount()
 	switch {
 	case c.Vehicles < 4:
 		return fmt.Errorf("scenario: %d vehicles cannot form source, destination and relays", c.Vehicles)

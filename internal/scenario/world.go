@@ -3,6 +3,7 @@ package scenario
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"blackdp/internal/aodv"
@@ -23,9 +24,13 @@ import (
 // World is one fully constructed simulation: infrastructure, population,
 // adversary and workload, ready to Run.
 type World struct {
-	Cfg         Config
-	Env         core.Env
-	Sched       *sim.Scheduler
+	Cfg   Config
+	Env   core.Env
+	Sched *sim.Scheduler
+	// Topo is the road layout; always set. Highway is the same object when
+	// Cfg.Topology is "highway" (nil for mesh topologies) — kept for callers
+	// that need the highway's coordinate helpers.
+	Topo        mobility.Topology
 	Highway     *mobility.Highway
 	Authorities []*core.AuthorityAgent
 	Heads       map[wire.ClusterID]*core.HeadAgent
@@ -44,6 +49,7 @@ type World struct {
 	attackerIDs map[wire.NodeID]bool // every pseudonym the primary attacker held
 	teammateIDs map[wire.NodeID]bool
 
+	mesh   *mobility.RoadMesh // non-nil for "grid"/"multi"/"interchange"
 	rng    *sim.RNG
 	vehSeq int
 }
@@ -72,6 +78,40 @@ func Build(cfg Config) (*World, error) {
 	return buildPooled(cfg, nil)
 }
 
+// buildTopology constructs the road layout cfg selects. The highway return
+// is non-nil only for "highway", the mesh only for the 2D layouts; exactly
+// one of the two backs the Topology.
+func buildTopology(cfg Config) (mobility.Topology, *mobility.Highway, *mobility.RoadMesh, error) {
+	switch cfg.Topology {
+	case "", "highway":
+		hw, err := mobility.NewHighway(cfg.HighwayLengthM, cfg.HighwayWidthM, cfg.ClusterLengthM)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return hw, hw, nil, nil
+	case "grid":
+		m, err := mobility.NewGridCity(cfg.GridRows, cfg.GridCols, cfg.ClusterLengthM, cfg.HighwayWidthM)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return m, nil, m, nil
+	case "multi":
+		m, err := mobility.NewMultiHighway(cfg.HighwayCount, cfg.HighwayLengthM, cfg.HighwayWidthM, cfg.HighwayGapM, cfg.ClusterLengthM)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return m, nil, m, nil
+	case "interchange":
+		m, err := mobility.NewInterchange(cfg.HighwayLengthM, cfg.HighwayWidthM, cfg.ClusterLengthM)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return m, nil, m, nil
+	default:
+		return nil, nil, nil, fmt.Errorf("scenario: unknown topology %q", cfg.Topology)
+	}
+}
+
 // buildPooled is Build with a shared event pool for the scheduler. Sweep
 // workers pass their per-worker pool so consecutive replications reuse one
 // warmed free list; a nil pool gives the scheduler a private pool, which is
@@ -82,7 +122,7 @@ func buildPooled(cfg Config, pool *sim.EventPool) (*World, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	highway, err := mobility.NewHighway(cfg.HighwayLengthM, cfg.HighwayWidthM, cfg.ClusterLengthM)
+	topo, highway, mesh, err := buildTopology(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -98,6 +138,9 @@ func buildPooled(cfg Config, pool *sim.EventPool) (*World, error) {
 		tracer = trace.NewRecorder(sched.Now, 0)
 	}
 	radioOpts := []radio.Option{radio.WithRange(cfg.TxRangeM), radio.WithLossRate(cfg.LossRate)}
+	if cfg.LinearScan {
+		radioOpts = append(radioOpts, radio.WithLinearScan())
+	}
 	if cfg.Fault.Burst.Enabled() {
 		b := cfg.Fault.Burst
 		radioOpts = append(radioOpts, radio.WithBurstLoss(b.LossGood, b.LossBad, b.GoodToBad, b.BadToGood))
@@ -114,7 +157,7 @@ func buildPooled(cfg Config, pool *sim.EventPool) (*World, error) {
 		Trust:    pki.NewTrustStore(),
 		Scheme:   scheme,
 		Dir:      cluster.NewDirectory(),
-		Highway:  highway,
+		Highway:  topo,
 		Medium:   radio.NewMedium(sched, rng.Split("radio"), radioOpts...),
 		Backbone: radio.NewBackbone(sched, cfg.BackboneLatency),
 		Tracer:   tracer,
@@ -124,11 +167,31 @@ func buildPooled(cfg Config, pool *sim.EventPool) (*World, error) {
 		Cfg:         cfg,
 		Env:         env,
 		Sched:       sched,
+		Topo:        topo,
 		Highway:     highway,
+		mesh:        mesh,
 		Heads:       make(map[wire.ClusterID]*core.HeadAgent),
 		attackerIDs: make(map[wire.NodeID]bool),
 		teammateIDs: make(map[wire.NodeID]bool),
 		rng:         rng,
+	}
+	if mesh != nil {
+		// Mesh clusters have more than two neighbors; the directory's
+		// consecutive-cluster default only fits the single highway. The hook
+		// is not installed for "highway": the default already matches
+		// Highway.Neighbors, and leaving the seed path untouched keeps the
+		// golden hashes trivially safe.
+		env.Dir.SetNeighbors(func(c wire.ClusterID) []wire.ClusterID {
+			if int(c) < 1 || int(c) > mesh.Clusters() {
+				return nil
+			}
+			ns := mesh.Neighbors(int(c))
+			out := make([]wire.ClusterID, len(ns))
+			for i, n := range ns {
+				out[i] = wire.ClusterID(n)
+			}
+			return out
+		})
 	}
 	if err := w.buildInfrastructure(); err != nil {
 		return nil, err
@@ -160,7 +223,7 @@ func (w *World) CheckConservation() error {
 
 // buildInfrastructure creates the TAs and one head per cluster.
 func (w *World) buildInfrastructure() error {
-	clusters := w.Highway.Clusters()
+	clusters := w.Topo.Clusters()
 	per := (clusters + w.Cfg.Authorities - 1) / w.Cfg.Authorities
 	for a := 0; a < w.Cfg.Authorities; a++ {
 		lo := a*per + 1
@@ -206,7 +269,7 @@ func (w *World) buildInfrastructure() error {
 }
 
 func (w *World) authorityFor(c wire.ClusterID) *core.AuthorityAgent {
-	clusters := w.Highway.Clusters()
+	clusters := w.Topo.Clusters()
 	per := (clusters + w.Cfg.Authorities - 1) / w.Cfg.Authorities
 	idx := (int(c) - 1) / per
 	if idx >= len(w.Authorities) {
@@ -216,8 +279,18 @@ func (w *World) authorityFor(c wire.ClusterID) *core.AuthorityAgent {
 }
 
 // buildPopulation places the source, destination, attacker(s) and filler
-// vehicles per the paper's experiment setup.
+// vehicles per the paper's experiment setup, dispatching on the topology.
+// The highway path is kept verbatim — its RNG draw sequence is pinned by the
+// golden-hash tests — and the mesh path generalises the same placement rules
+// to 2D road layouts.
 func (w *World) buildPopulation() error {
+	if w.mesh != nil {
+		return w.buildPopulationMesh()
+	}
+	return w.buildPopulationHighway()
+}
+
+func (w *World) buildPopulationHighway() error {
 	clusters := w.Highway.Clusters()
 	attackCluster := w.Cfg.AttackerCluster
 	if attackCluster == 0 {
@@ -278,6 +351,201 @@ func (w *World) randomSpeed() float64 {
 	return mobility.KmhToMs(w.rng.Range(w.Cfg.SpeedMinKmh, w.Cfg.SpeedMaxKmh))
 }
 
+// buildPopulationMesh is buildPopulationHighway generalised to 2D road
+// meshes: same placement rules (source near a road start, destination well
+// away from the attacker, attacker mid-cluster, filler uniform over the
+// roads), expressed in per-road travel coordinates.
+func (w *World) buildPopulationMesh() error {
+	clusters := w.Topo.Clusters()
+	roads := w.Topo.Roads()
+	attackCluster := w.Cfg.AttackerCluster
+	if attackCluster == 0 {
+		attackCluster = w.rng.IntN(clusters) + 1
+	}
+	w.Cfg.AttackerCluster = attackCluster
+
+	// Source near the start of the first road — the mesh analogue of "the
+	// beginning of the highway".
+	r0 := roads[0]
+	sLo, sHi := r0.Lo+50, r0.Lo+450
+	if sHi > r0.Hi-10 {
+		sHi = r0.Hi - 10
+	}
+	if sHi < sLo {
+		sLo, sHi = r0.Lo, r0.Hi
+	}
+	src, err := w.addVehicleOnRoad(0, w.rng.Range(sLo, sHi), w.randomSpeed(), mobility.Eastbound)
+	if err != nil {
+		return err
+	}
+	w.Source = src
+
+	// Destination several clusters away from the attacker in strip-major
+	// numbering, never in its radio range at placement.
+	destCluster := attackCluster + 3
+	if destCluster > clusters {
+		destCluster = attackCluster - 3
+	}
+	if destCluster < 1 {
+		destCluster = 1
+	}
+	dri, da := w.spawnAlong(destCluster, 100, 100)
+	dest, err := w.addVehicleOnRoad(dri, da, w.randomSpeed(), mobility.Eastbound)
+	if err != nil {
+		return err
+	}
+	w.Destination = dest
+
+	if w.Cfg.Attack != NoAttack {
+		if err := w.placeAttackersMesh(attackCluster); err != nil {
+			return err
+		}
+		if err := w.placeExtraAttackersMesh(destCluster); err != nil {
+			return err
+		}
+	}
+
+	// Filler traffic, both directions, uniform over the road mesh.
+	for len(w.Vehicles) < w.Cfg.Vehicles {
+		dir := mobility.Eastbound
+		if w.rng.Bool(0.5) {
+			dir = mobility.Westbound
+		}
+		ri := w.rng.IntN(len(roads))
+		r := roads[ri]
+		if _, err := w.addVehicleOnRoad(ri, w.rng.Range(r.Lo+10, r.Hi-10), w.randomSpeed(), dir); err != nil {
+			return err
+		}
+	}
+
+	for _, v := range w.Vehicles {
+		v.Start()
+	}
+	return nil
+}
+
+// hostileProfile builds the attack profile the config describes. It draws no
+// RNG, so sharing it across topology paths cannot shift draw order.
+func (w *World) hostileProfile() attack.Profile {
+	profile := attack.DefaultProfile()
+	if w.Cfg.SeqBonus != 0 {
+		profile.SeqBonus = w.Cfg.SeqBonus
+	}
+	profile.ActLegitProb = w.Cfg.ActLegitProb
+	profile.RenewProb = w.Cfg.RenewProb
+	profile.FakeHelloReplyProb = w.Cfg.FakeHelloProb
+	return profile
+}
+
+// clusterAlong returns cluster c's owning road and its travel extent along
+// that road's axis (mesh topologies only).
+func (w *World) clusterAlong(c int) (ri int, lo, hi float64) {
+	ri = w.mesh.ClusterRoad(c)
+	rect := w.Topo.ClusterRect(c)
+	if w.Topo.Roads()[ri].Axis == mobility.AxisY {
+		return ri, rect.Y0, rect.Y1
+	}
+	return ri, rect.X0, rect.X1
+}
+
+// spawnAlong draws a travel coordinate inside cluster c, keeping the given
+// margins from its edges when the segment is long enough.
+func (w *World) spawnAlong(c int, loMargin, hiMargin float64) (int, float64) {
+	ri, lo, hi := w.clusterAlong(c)
+	a, b := lo+loMargin, hi-hiMargin
+	if b < a {
+		a, b = lo, hi
+	}
+	return ri, w.rng.Range(a, b)
+}
+
+// addVehicleOnRoad is addVehicle for mesh topologies: the vehicle travels
+// along road ri from the given coordinate, in one of four lanes across the
+// road's width.
+func (w *World) addVehicleOnRoad(ri int, along, speedMS float64, dir mobility.Direction) (*core.VehicleAgent, error) {
+	w.vehSeq++
+	road := w.Topo.Roads()[ri]
+	span := road.CHi - road.CLo
+	lane := road.CLo + span*(0.1+0.2*float64(w.rng.IntN(4)))
+	pos := road.At(along, lane)
+	cid := wire.ClusterID(w.Topo.ClusterOf(pos))
+	cred, err := w.authorityFor(cid).IssueVehicleCredential(fmt.Sprintf("veh-%d", w.vehSeq))
+	if err != nil {
+		return nil, err
+	}
+	mob, err := mobility.NewMobileOnRoad(w.Topo, road, pos, dir, speedMS, w.Sched.Now())
+	if err != nil {
+		return nil, err
+	}
+	v, err := core.NewVehicleAgent(w.Env, w.Cfg.Vehicle, cred, mob)
+	if err != nil {
+		return nil, err
+	}
+	w.Vehicles = append(w.Vehicles, v)
+	return v, nil
+}
+
+// placeAttackersMesh is placeAttackers on a road mesh.
+func (w *World) placeAttackersMesh(attackCluster int) error {
+	ri, ax := w.spawnAlong(attackCluster, 100, 200)
+	attacker, err := w.addVehicleOnRoad(ri, ax, w.randomSpeed(), mobility.Eastbound)
+	if err != nil {
+		return err
+	}
+	w.Attacker = attacker
+	w.attackerIDs[attacker.NodeID()] = true
+	attacker.OnRenewed(func(old, new wire.NodeID) { w.attackerIDs[new] = true })
+
+	profile := w.hostileProfile()
+	road := w.Topo.Roads()[ri]
+	if _, _, segHi := w.clusterAlong(attackCluster); segHi >= road.Hi {
+		// The attacker starts in its road's last cluster and can flee the map.
+		profile.FleeProb = w.Cfg.FleeProb
+	}
+
+	if w.Cfg.Attack == CooperativeBlackHole {
+		tx := ax + w.rng.Range(200, 400)
+		if tx > road.Hi-10 {
+			tx = road.Hi - 10
+		}
+		teammate, err := w.addVehicleOnRoad(ri, tx, w.randomSpeed(), mobility.Eastbound)
+		if err != nil {
+			return err
+		}
+		w.Teammate = teammate
+		w.teammateIDs[teammate.NodeID()] = true
+		teammate.OnRenewed(func(old, new wire.NodeID) { w.teammateIDs[new] = true })
+		tp := profile
+		tp.SupportOnly = true
+		tp.Teammate = 0
+		w.TeammateBH = w.arm(teammate, tp)
+		profile.Teammate = teammate.NodeID()
+	}
+	w.AttackerBH = w.arm(attacker, profile)
+	return nil
+}
+
+// placeExtraAttackersMesh is placeExtraAttackers on a road mesh.
+func (w *World) placeExtraAttackersMesh(destCluster int) error {
+	clusters := w.Topo.Clusters()
+	for i := 0; i < w.Cfg.ExtraAttackers; i++ {
+		c := w.rng.IntN(clusters) + 1
+		if c == destCluster {
+			c = c%clusters + 1
+		}
+		ri, ax := w.spawnAlong(c, 100, 100)
+		v, err := w.addVehicleOnRoad(ri, ax, w.randomSpeed(), mobility.Eastbound)
+		if err != nil {
+			return err
+		}
+		h := &Hostile{Agent: v, ids: map[wire.NodeID]bool{v.NodeID(): true}}
+		v.OnRenewed(func(old, new wire.NodeID) { h.ids[new] = true })
+		h.BH = w.arm(v, w.hostileProfile())
+		w.Extras = append(w.Extras, h)
+	}
+	return nil
+}
+
 // addVehicle provisions a credential from the region's TA and constructs a
 // legitimate vehicle agent (not yet started).
 func (w *World) addVehicle(x, speedMS float64, dir mobility.Direction) (*core.VehicleAgent, error) {
@@ -313,13 +581,7 @@ func (w *World) placeAttackers(attackCluster int) error {
 	w.attackerIDs[attacker.NodeID()] = true
 	attacker.OnRenewed(func(old, new wire.NodeID) { w.attackerIDs[new] = true })
 
-	profile := attack.DefaultProfile()
-	if w.Cfg.SeqBonus != 0 {
-		profile.SeqBonus = w.Cfg.SeqBonus
-	}
-	profile.ActLegitProb = w.Cfg.ActLegitProb
-	profile.RenewProb = w.Cfg.RenewProb
-	profile.FakeHelloReplyProb = w.Cfg.FakeHelloProb
+	profile := w.hostileProfile()
 	if attackCluster == w.Highway.Clusters() {
 		// The paper's fleeing attackers escape from the last cluster.
 		profile.FleeProb = w.Cfg.FleeProb
@@ -363,14 +625,7 @@ func (w *World) placeExtraAttackers(destCluster int) error {
 		}
 		h := &Hostile{Agent: v, ids: map[wire.NodeID]bool{v.NodeID(): true}}
 		v.OnRenewed(func(old, new wire.NodeID) { h.ids[new] = true })
-		profile := attack.DefaultProfile()
-		if w.Cfg.SeqBonus != 0 {
-			profile.SeqBonus = w.Cfg.SeqBonus
-		}
-		profile.ActLegitProb = w.Cfg.ActLegitProb
-		profile.RenewProb = w.Cfg.RenewProb
-		profile.FakeHelloReplyProb = w.Cfg.FakeHelloProb
-		h.BH = w.arm(v, profile)
+		h.BH = w.arm(v, w.hostileProfile())
 		w.Extras = append(w.Extras, h)
 	}
 	return nil
@@ -662,4 +917,43 @@ func RunSweep(ctx context.Context, cfg Config, reps int, opt SweepOptions, mutat
 	}, func(ctx context.Context, rep int, pool *sim.EventPool) (metrics.Outcome, error) {
 		return runPooled(ctx, cfgs[rep], pool)
 	})
+}
+
+// RunSweepStream is RunSweep folding every outcome into a streaming
+// aggregate instead of retaining one Outcome per replication: sweep memory
+// stays constant no matter how many replications run, which is what makes
+// metro-scale sweeps fit on one machine. Every Stream counter is
+// commutative, so any worker count yields the identical report (the
+// streaming equivalence test holds it against the retained path). The
+// returned stream is meaningful only when the error is nil.
+func RunSweepStream(ctx context.Context, cfg Config, reps int, opt SweepOptions, mutate func(rep int, c *Config)) (*metrics.Stream, error) {
+	cfgs := make([]Config, reps)
+	for rep := range cfgs {
+		c := cfg
+		c.Seed = cfg.Seed + int64(rep)*7919
+		if mutate != nil {
+			mutate(rep, &c)
+		}
+		cfgs[rep] = c
+	}
+	stream := metrics.NewStream()
+	var mu sync.Mutex
+	_, err := exp.MapScratch(ctx, reps, exp.Options{
+		Workers:  opt.Workers,
+		SeedOf:   func(rep int) int64 { return cfgs[rep].Seed },
+		Progress: opt.Progress,
+		OnRep:    opt.OnRep,
+	}, func(int) *sim.EventPool {
+		return sim.NewEventPool()
+	}, func(ctx context.Context, rep int, pool *sim.EventPool) (struct{}, error) {
+		o, err := runPooled(ctx, cfgs[rep], pool)
+		if err != nil {
+			return struct{}{}, err
+		}
+		mu.Lock()
+		stream.Add(o)
+		mu.Unlock()
+		return struct{}{}, nil
+	})
+	return stream, err
 }

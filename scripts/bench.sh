@@ -1,31 +1,45 @@
 #!/bin/sh
 # Run the benchmark suites and write BENCH_serve.json (service path) and
-# BENCH_core.json (scheduler, radio, codec, sweep engine) in one shared
-# schema: one object per benchmark with ns/op, B/op and allocs/op, so
-# regressions diff cleanly in review. Each benchmark runs count times and
-# the median run by ns/op is kept, so one noisy run cannot skew the
-# committed numbers. Usage: scripts/bench.sh [benchtime] [count],
-# defaults 10x and 5.
+# BENCH_core.json (scheduler, radio, codec, sweep engine, metro scaling
+# curve) in one shared schema: one object per benchmark with ns/op, B/op and
+# allocs/op, so regressions diff cleanly in review. Each micro-benchmark runs
+# count times and the median run by ns/op is kept, so one noisy run cannot
+# skew the committed numbers.
+#
+# The metro curve (BenchmarkMetroRun1k/10k/100k in internal/scenario) runs
+# whole 18-to-1058-cluster worlds end to end, so it runs once per point with
+# -benchtime 1x. The 100k point takes tens of minutes; it is included only
+# with METRO=full, so the default invocation stays quick:
+#
+#   scripts/bench.sh [benchtime] [count]   # defaults 10x and 5; metro 1k+10k
+#   METRO=full scripts/bench.sh            # adds the 100k acceptance point
+#   METRO=none scripts/bench.sh            # micro-benchmarks only
 set -eu
 cd "$(dirname "$0")/.."
 benchtime="${1:-10x}"
 count="${2:-5}"
+metro="${METRO:-10k}"
 
-emit() {
-	out="$1"
-	shift
-	raw="$(go test "$@" -run '^$' -bench . -benchtime "$benchtime" -benchmem -count="$count")"
-	echo "$raw"
-	echo "$raw" | awk -v benchtime="$benchtime" '
+# entries <raw go-test output>: condense to JSON benchmark objects (one per
+# benchmark, median run by ns/op), comma-separated, no surrounding brackets.
+# Metrics are matched by unit label, not field position, so lines with extra
+# ReportMetric columns or without -benchmem stay parseable (absent metrics
+# emit null).
+entries() {
+	awk '
 	  /^Benchmark/ {
 	    name = $1; sub(/-[0-9]+$/, "", name)
 	    seen[name]++
 	    k = name SUBSEP seen[name]
-	    iters[k] = $2; ns[k] = $3; bytes[k] = $5; allocs[k] = $7
+	    iters[k] = $2; ns[k] = "null"; bytes[k] = "null"; allocs[k] = "null"
+	    for (f = 3; f < NF; f += 2) {
+	      if ($(f + 1) == "ns/op") ns[k] = $f
+	      else if ($(f + 1) == "B/op") bytes[k] = $f
+	      else if ($(f + 1) == "allocs/op") allocs[k] = $f
+	    }
 	    if (!(name in order)) { order[name] = ++n; names[n] = name }
 	  }
 	  END {
-	    printf "{\n\"benchtime\": \"%s\",\n\"benchmarks\": [\n", benchtime
 	    for (i = 1; i <= n; i++) {
 	      name = names[i]
 	      runs = seen[name]
@@ -39,11 +53,40 @@ emit() {
 	      printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n",
 	             name, iters[m], ns[m], bytes[m], allocs[m], (i < n ? "," : "")
 	    }
-	    print "]\n}"
 	  }
-	' > "$out"
+	'
+}
+
+write_file() { # write_file <out> <entries...>
+	out="$1"
+	shift
+	{
+		printf '{\n"benchtime": "%s",\n"benchmarks": [\n' "$benchtime"
+		printf '%s\n' "$@"
+		printf ']\n}\n'
+	} > "$out"
 	echo "wrote $out"
 }
 
-emit BENCH_serve.json ./internal/serve
-emit BENCH_core.json ./internal/sim ./internal/radio ./internal/wire ./internal/exp
+serve_raw="$(go test ./internal/serve -run '^$' -bench . -benchtime "$benchtime" -benchmem -count="$count")"
+echo "$serve_raw"
+write_file BENCH_serve.json "$(echo "$serve_raw" | entries)"
+
+core_raw="$(go test ./internal/sim ./internal/radio ./internal/wire ./internal/exp \
+	-run '^$' -bench . -benchtime "$benchtime" -benchmem -count="$count")"
+echo "$core_raw"
+core_entries="$(echo "$core_raw" | entries)"
+
+case "$metro" in
+none) metro_regex='' ;;
+full) metro_regex='^BenchmarkMetroRun(1k|10k|100k)$' ;;
+*) metro_regex='^BenchmarkMetroRun(1k|10k)$' ;;
+esac
+if [ -n "$metro_regex" ]; then
+	metro_raw="$(go test ./internal/scenario -run '^$' -bench "$metro_regex" \
+		-benchtime 1x -count=1 -timeout 4h)"
+	echo "$metro_raw"
+	write_file BENCH_core.json "$core_entries," "$(echo "$metro_raw" | entries)"
+else
+	write_file BENCH_core.json "$core_entries"
+fi
