@@ -128,10 +128,19 @@ func DefaultConfig() Config { return scenario.DefaultConfig() }
 type Option func(*options)
 
 type options struct {
-	workers  int
-	progress func(done, total int)
-	onRep    func(rep int, err error)
-	mutate   func(rep int, c *Config)
+	workers       int
+	runWorkers    int
+	runWorkersSet bool
+	progress      func(done, total int)
+	onRep         func(rep int, err error)
+	mutate        func(rep int, c *Config)
+}
+
+func (o options) applyRunWorkers(cfg Config) Config {
+	if o.runWorkersSet {
+		cfg.RunWorkers = o.runWorkers
+	}
+	return cfg
 }
 
 func (o options) sweepOptions() SweepOptions {
@@ -150,6 +159,20 @@ func buildOptions(opts []Option) options {
 // reproduces the serial path exactly. Results are byte-identical for any
 // worker count.
 func WithWorkers(n int) Option { return func(o *options) { o.workers = n } }
+
+// WithRunWorkers sets Config.RunWorkers on every run the call dispatches:
+// <= 1 executes each simulation on the serial scheduler (the legacy path,
+// byte-identical across releases); >= 2 executes it as a cluster-sharded
+// conservative parallel simulation on up to n goroutines. Sharded results
+// are deterministic and independent of the exact worker count, but form
+// their own mode, distinct from the serial stream; sharded configs must use
+// placeholder crypto and the spatial index (Config.Validate enforces it).
+// In sweeps the two worker budgets are reconciled so sweep workers times
+// intra-run workers stays within GOMAXPROCS — intra-run shrinks first,
+// never below 2, and the mode is never silently changed.
+func WithRunWorkers(n int) Option {
+	return func(o *options) { o.runWorkers, o.runWorkersSet = n, true }
+}
 
 // WithProgress installs a callback invoked after each replication completes
 // with the number done so far and the total. Calls are serialised but, with
@@ -177,8 +200,8 @@ func WithMutate(fn func(rep int, c *Config)) Option {
 // simulated slice. Sweep-scoped options (workers, callbacks, mutation) do
 // not apply to a single run and are ignored.
 func Run(ctx context.Context, cfg Config, opts ...Option) (Outcome, error) {
-	_ = buildOptions(opts)
-	return scenario.RunContext(ctx, cfg)
+	o := buildOptions(opts)
+	return scenario.RunContext(ctx, o.applyRunWorkers(cfg))
 }
 
 // RunContext executes one simulation with cancellation.
@@ -217,7 +240,7 @@ func BurstPlan(lossBad, goodToBad, badToGood float64) FaultPlan {
 // worker count yields identical results.
 func Sweep(ctx context.Context, cfg Config, reps int, opts ...Option) ([]Outcome, error) {
 	o := buildOptions(opts)
-	return scenario.RunSweep(ctx, cfg, reps, o.sweepOptions(), o.mutate)
+	return scenario.RunSweep(ctx, o.applyRunWorkers(cfg), reps, o.sweepOptions(), o.mutate)
 }
 
 // RunMany executes reps runs with derived seeds across one worker per CPU.
@@ -235,7 +258,7 @@ func RunMany(cfg Config, reps int, mutate func(rep int, c *Config)) ([]Outcome, 
 // only the latency percentiles degrade, to a capped 1/64 relative error.
 func SweepStream(ctx context.Context, cfg Config, reps int, opts ...Option) (*Stream, error) {
 	o := buildOptions(opts)
-	return scenario.RunSweepStream(ctx, cfg, reps, o.sweepOptions(), o.mutate)
+	return scenario.RunSweepStream(ctx, o.applyRunWorkers(cfg), reps, o.sweepOptions(), o.mutate)
 }
 
 // NewStream returns an empty streaming aggregate, for callers folding
@@ -277,7 +300,8 @@ func ByCluster(outcomes []Outcome) map[int]Summary { return metrics.ByCluster(ou
 // behaviours in the last three clusters. The full clusters x reps grid runs
 // as one flat parallel sweep.
 func Fig4(ctx context.Context, base Config, kind AttackKind, reps int, opts ...Option) ([]Fig4Point, error) {
-	return scenario.RunFig4Sweep(ctx, base, kind, reps, buildOptions(opts).sweepOptions())
+	o := buildOptions(opts)
+	return scenario.RunFig4Sweep(ctx, o.applyRunWorkers(base), kind, reps, o.sweepOptions())
 }
 
 // Fig4Sweep is Fig4 with an options struct.
@@ -312,7 +336,8 @@ func RunFig5(cat Fig5Category, seed int64) (Fig5Result, error) {
 // BlackDP over reps identical scenarios: worlds fan out across the pool,
 // detector scoring folds in replication order.
 func CompareDetectors(ctx context.Context, cfg Config, reps int, opts ...Option) ([]DetectorScore, error) {
-	return scenario.CompareDetectorsSweep(ctx, cfg, reps, buildOptions(opts).sweepOptions())
+	o := buildOptions(opts)
+	return scenario.CompareDetectorsSweep(ctx, o.applyRunWorkers(cfg), reps, o.sweepOptions())
 }
 
 // CompareDetectorsSweep is CompareDetectors with an options struct.

@@ -15,14 +15,30 @@ import (
 // happen in main — so the differential tests can compare worker counts
 // directly on the table data.
 type params struct {
-	ctx     context.Context
-	seed    int64
-	reps    int
-	workers int // replication pool size; 1 reproduces the historical serial path
+	ctx        context.Context
+	seed       int64
+	reps       int
+	workers    int  // replication pool size; 1 reproduces the historical serial path
+	runWorkers int  // intra-run shard workers; <= 1 keeps each run on the serial scheduler
+	freeCrypto bool // replace ECDSA with placeholder signatures in every scenario
 }
 
 func (p params) opts() []blackdp.Option {
-	return []blackdp.Option{blackdp.WithWorkers(p.workers)}
+	return []blackdp.Option{blackdp.WithWorkers(p.workers), blackdp.WithRunWorkers(p.runWorkers)}
+}
+
+// config is the base scenario every config-driven experiment starts from:
+// Table I defaults at the invocation's seed, with -crypto=false swapping in
+// free placeholder signatures — the tables then measure the protocol without
+// the crypto cost, and sharded execution (-run-workers >= 2, which excludes
+// ECDSA) becomes available.
+func (p params) config() blackdp.Config {
+	cfg := blackdp.DefaultConfig()
+	cfg.Seed = p.seed
+	if p.freeCrypto {
+		cfg.RealCrypto = false
+	}
+	return cfg
 }
 
 func (p params) expOpts() exp.Options {
@@ -69,8 +85,7 @@ func table1(params) ([]*report.Table, error) {
 }
 
 func fig4(p params) ([]*report.Table, error) {
-	base := blackdp.DefaultConfig()
-	base.Seed = p.seed
+	base := p.config()
 	var tables []*report.Table
 	for _, kind := range []blackdp.AttackKind{blackdp.SingleBlackHole, blackdp.CooperativeBlackHole} {
 		start := time.Now()
@@ -133,8 +148,7 @@ func fig5(p params) ([]*report.Table, error) {
 }
 
 func compare(p params) ([]*report.Table, error) {
-	cfg := blackdp.DefaultConfig()
-	cfg.Seed = p.seed
+	cfg := p.config()
 	scores, err := blackdp.CompareDetectors(p.ctx, cfg, p.reps, p.opts()...)
 	if err != nil {
 		return nil, err
@@ -194,8 +208,7 @@ func loss(p params) ([]*report.Table, error) {
 	t := report.New(fmt.Sprintf("ABLATION: detection under channel loss (%d runs per point)", p.reps),
 		"loss_rate", "detected", "blocked_anyway", "false_pos", "delivery")
 	for _, rate := range []float64{0, 0.01, 0.02, 0.05, 0.10} {
-		cfg := blackdp.DefaultConfig()
-		cfg.Seed = p.seed
+		cfg := p.config()
 		cfg.AttackerCluster = 4
 		cfg.LossRate = rate
 		outcomes, err := blackdp.Sweep(p.ctx, cfg, p.reps, p.opts()...)
@@ -215,8 +228,7 @@ func density(p params) ([]*report.Table, error) {
 	t := report.New(fmt.Sprintf("ABLATION: vehicle density — RSU load (%d runs per point)", p.reps),
 		"vehicles", "detected", "mean_latency", "p95_latency", "mean_packets", "wall_per_run")
 	for _, n := range []int{50, 100, 200} {
-		cfg := blackdp.DefaultConfig()
-		cfg.Seed = p.seed
+		cfg := p.config()
 		cfg.AttackerCluster = 4
 		cfg.Vehicles = n
 		start := time.Now()
@@ -254,8 +266,7 @@ func topology(p params) ([]*report.Table, error) {
 		{"multi x3", 30, func(c *blackdp.Config) { c.Topology = "multi" }},
 		{"interchange", 20, func(c *blackdp.Config) { c.Topology = "interchange" }},
 	} {
-		cfg := blackdp.DefaultConfig()
-		cfg.Seed = p.seed
+		cfg := p.config()
 		cfg.AttackerCluster = 4
 		row.mutate(&cfg)
 		stream, err := blackdp.SweepStream(p.ctx, cfg, p.reps, p.opts()...)
@@ -288,8 +299,7 @@ func overhead(p params) ([]*report.Table, error) {
 		{"plain AODV, black hole", false, blackdp.SingleBlackHole},
 		{"BlackDP, black hole", true, blackdp.SingleBlackHole},
 	} {
-		cfg := blackdp.DefaultConfig()
-		cfg.Seed = p.seed
+		cfg := p.config()
 		cfg.AttackerCluster = 4
 		cfg.Attack = r.attack
 		cfg.Vehicle.Verify = r.verify
@@ -355,8 +365,7 @@ func faults(p params) ([]*report.Table, error) {
 		{"permanent", blackdp.CrashPlan(1, crashAt, 0), 0},
 		{"permanent (no retry/failover)", blackdp.CrashPlan(1, crashAt, 0), -1},
 	} {
-		cfg := blackdp.DefaultConfig()
-		cfg.Seed = p.seed
+		cfg := p.config()
 		cfg.AttackerCluster = 4 // the source (and its head) start in cluster 1
 		cfg.Fault = r.plan
 		cfg.Vehicle.DReqRetries = r.retries
@@ -384,8 +393,7 @@ func faults(p params) ([]*report.Table, error) {
 		"bad_state_loss", "effective_loss", "detected", "false_pos", "mean_latency", "delivery")
 	burst.Slug = "faults-burst-loss"
 	for _, lossBad := range []float64{0, 0.06, 0.15, 0.30} {
-		cfg := blackdp.DefaultConfig()
-		cfg.Seed = p.seed
+		cfg := p.config()
 		cfg.AttackerCluster = 4
 		if lossBad > 0 {
 			cfg.Fault = blackdp.BurstPlan(lossBad, 0.1, 0.2)
@@ -420,8 +428,7 @@ func crypto(p params) ([]*report.Table, error) {
 	t := report.New(fmt.Sprintf("ABLATION: ECDSA P-256 vs free placeholder signatures (%d runs each)", p.reps),
 		"scheme", "detected", "mean_detection_latency", "wall_per_run")
 	for _, real := range []bool{true, false} {
-		cfg := blackdp.DefaultConfig()
-		cfg.Seed = p.seed
+		cfg := p.config()
 		cfg.AttackerCluster = 4
 		cfg.RealCrypto = real
 		start := time.Now()

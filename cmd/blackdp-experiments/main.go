@@ -47,12 +47,15 @@ func main() {
 	reps := fs.Int("reps", defaultReps(cmd), "repetitions per data point")
 	seed := fs.Int64("seed", 1, "base random seed")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "replication pool size (1 = serial)")
+	runWorkers := fs.Int("run-workers", 1, "intra-run shard workers per simulation (<=1 = serial scheduler; >=2 = cluster-sharded parallel runs, requires -crypto=false)")
+	crypto := fs.Bool("crypto", true, "real ECDSA signatures (false = free placeholder; required for -run-workers >= 2)")
 	csvDir := fs.String("csv", "", "directory to write CSV artefacts into")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
 
-	p := params{ctx: context.Background(), seed: *seed, reps: *reps, workers: *workers}
+	p := params{ctx: context.Background(), seed: *seed, reps: *reps, workers: *workers,
+		runWorkers: *runWorkers, freeCrypto: !*crypto}
 	var err error
 	switch {
 	case cmd == "all":
@@ -92,7 +95,7 @@ func emit(run func(params) ([]*report.Table, error), p params, csvDir string) er
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: blackdp-experiments <table1|fig4|fig5|compare|connector|crypto|loss|density|topology|overhead|fog|faults|all> [-reps N] [-seed S] [-workers W] [-csv DIR]")
+	fmt.Fprintln(os.Stderr, "usage: blackdp-experiments <table1|fig4|fig5|compare|connector|crypto|loss|density|topology|overhead|fog|faults|all> [-reps N] [-seed S] [-workers W] [-run-workers R] [-crypto=false] [-csv DIR]")
 }
 
 func defaultReps(cmd string) int {

@@ -25,7 +25,7 @@ var (
 // execution context).
 type Router struct {
 	cfg   Config
-	sched *sim.Scheduler
+	sched sim.Runtime
 	rng   *sim.RNG
 	link  Link
 	seal  Sealer
@@ -72,7 +72,7 @@ type pendingDiscovery struct {
 
 // New creates a router on link. Zero Config fields take defaults; seal may
 // be nil for unsigned control packets; cb fields are optional.
-func New(cfg Config, sched *sim.Scheduler, rng *sim.RNG, link Link, seal Sealer, cb Callbacks) *Router {
+func New(cfg Config, sched sim.Runtime, rng *sim.RNG, link Link, seal Sealer, cb Callbacks) *Router {
 	if sched == nil || rng == nil || link == nil {
 		panic("aodv: New requires scheduler, RNG and link")
 	}

@@ -85,7 +85,7 @@ func DefaultProfile() Profile {
 
 // Env is what the interceptor needs from its host vehicle.
 type Env struct {
-	Sched *sim.Scheduler
+	Sched sim.Runtime
 	RNG   *sim.RNG
 	// Send transmits on the vehicle's radio (link-ACK result ignored:
 	// black holes do not care whether their forgeries land).

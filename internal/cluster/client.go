@@ -21,7 +21,7 @@ type ClientCallbacks struct {
 // crosses cluster boundaries (Leave + JoinReq, per the paper), and tracks
 // the blacklist its heads advertise.
 type Client struct {
-	sched   *sim.Scheduler
+	sched   sim.Runtime
 	topo    mobility.Topology
 	mobile  *mobility.Mobile
 	send    Sender
@@ -65,7 +65,7 @@ const failoverAfter = 3
 
 // NewClient creates a membership client for a vehicle moving as mobile on
 // topo, transmitting with send and identifying itself with self().
-func NewClient(sched *sim.Scheduler, topo mobility.Topology, mobile *mobility.Mobile, txRange float64, send Sender, self func() wire.NodeID, cb ClientCallbacks) *Client {
+func NewClient(sched sim.Runtime, topo mobility.Topology, mobile *mobility.Mobile, txRange float64, send Sender, self func() wire.NodeID, cb ClientCallbacks) *Client {
 	if sched == nil || topo == nil || mobile == nil || send == nil || self == nil {
 		panic("cluster: NewClient requires scheduler, topology, mobile, sender and identity")
 	}

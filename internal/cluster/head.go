@@ -37,7 +37,7 @@ type Head struct {
 	id      wire.NodeID
 	cluster wire.ClusterID
 	topo    mobility.Topology
-	sched   *sim.Scheduler
+	sched   sim.Runtime
 	send    Sender
 	cb      HeadCallbacks
 
@@ -64,7 +64,7 @@ type HeadStats struct {
 }
 
 // NewHead creates the head for cluster c of topo, transmitting with send.
-func NewHead(id wire.NodeID, c wire.ClusterID, topo mobility.Topology, sched *sim.Scheduler, send Sender, cb HeadCallbacks) *Head {
+func NewHead(id wire.NodeID, c wire.ClusterID, topo mobility.Topology, sched sim.Runtime, send Sender, cb HeadCallbacks) *Head {
 	if id == wire.Broadcast || c == 0 || topo == nil || sched == nil || send == nil {
 		panic("cluster: NewHead requires id, cluster, topology, scheduler and sender")
 	}

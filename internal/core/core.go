@@ -27,12 +27,13 @@ import (
 	"blackdp/internal/radio"
 	"blackdp/internal/sim"
 	"blackdp/internal/trace"
+	"blackdp/internal/wire"
 )
 
 // Env bundles the simulation-wide facilities every agent needs. One Env is
 // shared by all agents of a run.
 type Env struct {
-	Sched    *sim.Scheduler
+	Sched    sim.Runtime
 	RNG      *sim.RNG
 	Trust    *pki.TrustStore
 	Scheme   pki.Scheme
@@ -42,6 +43,11 @@ type Env struct {
 	Backbone *radio.Backbone
 	Tracer   *trace.Recorder // nil disables tracing
 	Tally    *Tally          // nil disables detection-packet accounting
+
+	// Port is the radio shard context this agent's interfaces attach to.
+	// nil in serial runs, where Medium.Attach uses the implicit serial
+	// context; sharded world builds set it per agent alongside Sched.
+	Port *radio.Shard
 }
 
 func (e *Env) check() {
@@ -49,4 +55,15 @@ func (e *Env) check() {
 		e.Dir == nil || e.Highway == nil || e.Medium == nil || e.Backbone == nil {
 		panic("core: Env is missing required facilities")
 	}
+}
+
+// AttachRadio attaches a radio interface on the agent's home shard: the
+// serial context when Port is nil, the agent's shard otherwise. All agent
+// code attaches through this so one Env field switch moves an agent between
+// execution modes.
+func (e *Env) AttachRadio(id wire.NodeID, loc mobility.Locator, recv radio.Receiver) *radio.Interface {
+	if e.Port != nil {
+		return e.Medium.AttachOn(e.Port, id, loc, recv)
+	}
+	return e.Medium.Attach(id, loc, recv)
 }

@@ -177,7 +177,7 @@ func NewHeadAgent(env Env, cfg HeadConfig, cred *pki.Credential, c wire.ClusterI
 	}
 	h.verifiers = make([]time.Duration, 1+h.cfg.FogNodes)
 	loc := mobility.Static{Pos: h.pos, H: env.Highway}
-	h.ifc = env.Medium.Attach(cred.NodeID(), loc, h.handleFrame)
+	h.ifc = env.AttachRadio(cred.NodeID(), loc, h.handleFrame)
 	h.router = aodv.New(h.cfg.Router, env.Sched, env.RNG.Split(fmt.Sprintf("head-router-%d", c)), h.ifc,
 		h.sealPacket, aodv.Callbacks{
 			Cluster: func() wire.ClusterID { return h.cluster },
@@ -591,7 +591,7 @@ func (h *HeadAgent) beginExamination(c *detectionCase) {
 	if c.disposable == nil {
 		disposable := h.randomIdentity()
 		loc := mobility.Static{Pos: h.pos, H: h.env.Highway}
-		c.disposable = h.env.Medium.Attach(disposable, loc, func(f radio.Frame) { h.handleProbeReply(c, f) })
+		c.disposable = h.env.AttachRadio(disposable, loc, func(f radio.Frame) { h.handleProbeReply(c, f) })
 	}
 	if c.priorSeq > 0 {
 		c.stage = 2

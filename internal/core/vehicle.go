@@ -197,7 +197,7 @@ func NewVehicleAgent(env Env, cfg VehicleConfig, cred *pki.Credential, mobile *m
 		verifications: make(map[wire.NodeID]*verification),
 		reports:       make(map[wire.NodeID]*verification),
 	}
-	v.ifc = env.Medium.Attach(cred.NodeID(), mobile, v.HandleFrame)
+	v.ifc = env.AttachRadio(cred.NodeID(), mobile, v.HandleFrame)
 	v.router = aodv.New(v.cfg.Router, env.Sched, env.RNG.Split("router-"+cred.NodeID().String()), v.ifc,
 		v.sealPacket, aodv.Callbacks{
 			HelloProbe: v.handleProbe,

@@ -130,7 +130,7 @@ type Targets struct {
 // Schedule registers the plan's timed faults on s. Channel impairments
 // (burst loss, duplication, reordering) are medium construction options, not
 // events, so they are applied by the world at build time instead.
-func Schedule(s *sim.Scheduler, p Plan, t Targets) {
+func Schedule(s sim.Runtime, p Plan, t Targets) {
 	for _, c := range p.HeadCrashes {
 		c := c
 		s.At(c.At, func() { t.CrashHead(c.Cluster) })

@@ -14,7 +14,7 @@ import (
 // per-hop along the chain, so adjacent cluster heads talk faster than
 // distant ones.
 type Backbone struct {
-	sched      *sim.Scheduler
+	sched      sim.Runtime
 	hopLatency time.Duration
 	endpoints  map[wire.NodeID]*BackboneEndpoint
 	downLinks  map[int]bool // severed chain links, by lower chain position
@@ -35,8 +35,9 @@ type BackboneEndpoint struct {
 
 // NewBackbone creates a wired backbone with the given per-hop latency
 // (latency between chain positions i and j is |i-j| * hopLatency, minimum
-// one hop).
-func NewBackbone(sched *sim.Scheduler, hopLatency time.Duration) *Backbone {
+// one hop). In a sharded run every backbone endpoint (cluster heads, TAs)
+// lives on the anchor shard, so the backbone takes a single runtime.
+func NewBackbone(sched sim.Runtime, hopLatency time.Duration) *Backbone {
 	if sched == nil {
 		panic("radio: NewBackbone requires a scheduler")
 	}

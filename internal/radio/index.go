@@ -34,13 +34,18 @@ import (
 // just not indexed.
 type cellIndex struct {
 	size  float64
-	cells map[cellKey][]*Interface       // bucketed devices, ascending attach seq
-	byID  map[wire.NodeID][]*Interface   // unicast fast path, ascending attach seq
-	heap  []crossEntry                   // pending cell-crossing times
-	dirty []*Interface                   // trajectory changed since last refresh
-	unind []*Interface                   // non-Kinematic locators, ascending attach seq
+	cells map[cellKey][]*Interface     // bucketed devices, ascending attach seq
+	byID  map[wire.NodeID][]*Interface // unicast fast path, ascending attach seq
+	heap  []crossEntry                 // pending cell-crossing times
+	dirty []*Interface                 // trajectory changed since last refresh
+	unind []*Interface                 // non-Kinematic locators, ascending attach seq
+}
 
-	// Query scratch, reused so the hot path allocates nothing steady-state.
+// collectScratch is one caller's query scratch, reused so the hot path
+// allocates nothing steady-state. Sharded runs query the index from several
+// goroutines at once (read-only between barrier refreshes), so each shard
+// context owns its own scratch.
+type collectScratch struct {
 	lists [][]*Interface
 	cand  []*Interface
 }
@@ -60,7 +65,6 @@ func newCellIndex(size float64) *cellIndex {
 		size:  size,
 		cells: make(map[cellKey][]*Interface),
 		byID:  make(map[wire.NodeID][]*Interface),
-		lists: make([][]*Interface, 0, 10),
 	}
 }
 
@@ -245,13 +249,15 @@ func (x *cellIndex) refresh(now time.Duration) {
 	}
 }
 
-// collect returns the candidate receivers for a transmission from p: the
+// collectInto returns the candidate receivers for a transmission from p: the
 // devices in the 3×3 cell sweep around p plus every unindexed device, merged
-// into ascending attach order (the linear scan's iteration order). The
-// returned slice is scratch, valid until the next collect.
-func (x *cellIndex) collect(p mobility.Position) []*Interface {
+// into ascending attach order (the linear scan's iteration order). It only
+// reads the index — bucket mutation happens in refresh — so concurrent
+// callers are safe as long as each brings its own scratch; the returned
+// slice is that scratch, valid until its next collectInto.
+func (x *cellIndex) collectInto(s *collectScratch, p mobility.Position) []*Interface {
 	k := x.keyOf(p)
-	ls := x.lists[:0]
+	ls := s.lists[:0]
 	for dy := int64(-1); dy <= 1; dy++ {
 		for dx := int64(-1); dx <= 1; dx++ {
 			if b := x.cells[cellKey{x: k.x + dx, y: k.y + dy}]; len(b) > 0 {
@@ -262,8 +268,8 @@ func (x *cellIndex) collect(p mobility.Position) []*Interface {
 	if len(x.unind) > 0 {
 		ls = append(ls, x.unind)
 	}
-	x.lists = ls
-	out := x.cand[:0]
+	s.lists = ls
+	out := s.cand[:0]
 	for {
 		best := -1
 		for li := range ls {
@@ -280,7 +286,7 @@ func (x *cellIndex) collect(p mobility.Position) []*Interface {
 		out = append(out, ls[best][0])
 		ls[best] = ls[best][1:]
 	}
-	x.cand = out
+	s.cand = out
 	return out
 }
 

@@ -63,14 +63,14 @@ func TestCellIndexBoundaryPositions(t *testing.T) {
 	s := sim.NewScheduler()
 	m := NewMedium(s, sim.NewRNG(1)) // default 1000 m range = cell size
 	coords := []mobility.Position{
-		{X: 0, Y: 0},          // cell corner
-		{X: 1000, Y: 0},       // exactly one range away, on a cell edge
-		{X: 1000.0001, Y: 0},  // just beyond
-		{X: 2000, Y: 0},       // exactly in range of the boundary node
-		{X: 999.9999, Y: 0},   // just inside, same cell edge
-		{X: 1000, Y: 1000},    // corner: sqrt(2)*1000 from origin, out of range
-		{X: 600, Y: 800},      // exactly 1000 from origin, mid-cell
-		{X: -1000, Y: 0},      // negative coordinates, exactly in range
+		{X: 0, Y: 0},         // cell corner
+		{X: 1000, Y: 0},      // exactly one range away, on a cell edge
+		{X: 1000.0001, Y: 0}, // just beyond
+		{X: 2000, Y: 0},      // exactly in range of the boundary node
+		{X: 999.9999, Y: 0},  // just inside, same cell edge
+		{X: 1000, Y: 1000},   // corner: sqrt(2)*1000 from origin, out of range
+		{X: 600, Y: 800},     // exactly 1000 from origin, mid-cell
+		{X: -1000, Y: 0},     // negative coordinates, exactly in range
 		{X: -0.0001, Y: -0.0001},
 		{X: 5e8, Y: -5e8},     // far out of world
 		{X: 1e300, Y: 1e300},  // astronomical (exercises the cell clamp)

@@ -10,6 +10,18 @@
 // optional uniform loss rate injects failures. Addressing is by the sender's
 // and receiver's current pseudonymous NodeID — unicast frames are delivered
 // only to the addressee, broadcasts to every neighbour.
+//
+// A medium normally runs on one scheduler (the serial path, byte-identical
+// across releases). For sharded runs (sim.Sharded), AddShard registers one
+// execution context per shard — its runtime, RNG stream, channel counters and
+// scratch — and AttachOn homes each device on one of them. Loss and jitter
+// draws then come from the *sender's* shard stream, deliveries are routed to
+// the *receiver's* home shard through sim.CrossPoster, and the spatial index
+// is refreshed only at window barriers (Medium.RefreshIndex) so windows read
+// it lock-free. A sharded run is deterministic and independent of worker
+// count, but draws RNG from per-shard streams, so its outputs form their own
+// mode — distinct from the serial stream — pinned by the scenario equality
+// wall.
 package radio
 
 import (
@@ -73,7 +85,10 @@ func WithJitter(max time.Duration) Option {
 // each frame copy with the loss probability of the current state. The state
 // is channel-wide (fading affects every receiver) and advances one step per
 // loss decision, all drawn from the medium's seeded RNG, so runs stay
-// deterministic. Mean bad-burst length is 1/badToGood decisions.
+// deterministic. Mean bad-burst length is 1/badToGood decisions. In sharded
+// mode each shard carries its own fading state (channel-wide sequential
+// state cannot cross shards deterministically); the serial path is
+// unchanged.
 func WithBurstLoss(lossGood, lossBad, goodToBad, badToGood float64) Option {
 	return func(m *Medium) {
 		m.burst = &burstState{
@@ -113,10 +128,14 @@ type burstState struct {
 	bad                  bool
 }
 
+func (b *burstState) clone() *burstState {
+	c := *b
+	c.bad = false
+	return &c
+}
+
 // Medium is the shared wireless channel.
 type Medium struct {
-	sched       *sim.Scheduler
-	rng         *sim.RNG
 	txRange     float64
 	bitrate     float64
 	lossRate    float64
@@ -128,20 +147,43 @@ type Medium struct {
 
 	linearScan bool
 
+	// windowed is true once AddShard has been called: the medium belongs to
+	// a sharded run, devices attach to explicit shard contexts, and the
+	// spatial index refreshes only at window barriers.
+	windowed bool
+	serial   *Shard   // the implicit context of a serial medium
+	shards   []*Shard // all execution contexts (serial: exactly one)
+
 	devices []*Interface
 	index   *cellIndex // nil under WithLinearScan (or a degenerate range)
-	stats   Stats
 
 	// deliver is the single scheduler callback shared by every in-flight
 	// frame copy; per-copy state travels in pooled delivery records, so the
 	// per-frame broadcast path allocates nothing once the pool is warm.
 	deliver func(any)
+}
+
+// Shard is one execution context of the medium: the runtime whose events its
+// devices run on, the RNG stream their loss/jitter decisions draw from, and
+// the context's private channel counters and scratch. A serial medium has
+// exactly one, created implicitly; a sharded medium gets one per sim shard
+// via AddShard. All of a Shard's state is touched only by its own shard's
+// goroutine (or the orchestrator at barriers), so none of it needs locks.
+type Shard struct {
+	m       *Medium
+	rt      sim.Runtime
+	cross   sim.CrossPoster
+	rng     *sim.RNG
+	burst   *burstState
+	stats   Stats
 	freeDel []*delivery
+	scratch collectScratch
 }
 
 // delivery is one frame copy in flight toward one receiver. Records are
-// pooled on the medium and reused; all scheduling runs on the simulation
-// goroutine, so a plain free list suffices.
+// pooled per shard context and reused; a record is drawn from the sender's
+// context and recycled into the receiver's, each touched only on its own
+// shard's goroutine, so plain free lists suffice.
 type delivery struct {
 	dev   *Interface
 	frame Frame
@@ -157,8 +199,6 @@ func NewMedium(sched *sim.Scheduler, rng *sim.RNG, opts ...Option) *Medium {
 		panic("radio: NewMedium requires a scheduler and RNG")
 	}
 	m := &Medium{
-		sched:     sched,
-		rng:       rng,
 		txRange:   1000,
 		bitrate:   6_000_000,
 		jitterMax: 2 * time.Millisecond,
@@ -169,50 +209,112 @@ func NewMedium(sched *sim.Scheduler, rng *sim.RNG, opts ...Option) *Medium {
 	if !m.linearScan && m.txRange > 0 && !math.IsInf(m.txRange, 0) {
 		m.index = newCellIndex(m.txRange)
 	}
+	m.serial = &Shard{m: m, rt: sched, cross: sched, rng: rng, burst: m.burst}
+	m.shards = []*Shard{m.serial}
 	m.deliver = m.deliverCopy
 	return m
 }
 
-// getDelivery takes a record from the free list (or allocates the pool's
-// first few).
-func (m *Medium) getDelivery(dev *Interface, frame Frame) *delivery {
-	if n := len(m.freeDel); n > 0 {
-		d := m.freeDel[n-1]
-		m.freeDel[n-1] = nil
-		m.freeDel = m.freeDel[:n-1]
+// AddShard registers one sim shard's execution context. The first call flips
+// the medium into windowed (sharded) mode, discarding the implicit serial
+// context; every device must then attach through AttachOn, and the run's
+// orchestrator must call RefreshIndex at each window start. AddShard must
+// precede all attaches.
+func (m *Medium) AddShard(rt sim.Runtime, cross sim.CrossPoster, rng *sim.RNG) *Shard {
+	if rt == nil || cross == nil || rng == nil {
+		panic("radio: AddShard requires a runtime, cross-poster and RNG")
+	}
+	if len(m.devices) > 0 {
+		panic("radio: AddShard after devices attached")
+	}
+	if !m.windowed {
+		m.windowed = true
+		m.serial = nil
+		m.shards = m.shards[:0]
+	}
+	c := &Shard{m: m, rt: rt, cross: cross, rng: rng}
+	if m.burst != nil {
+		c.burst = m.burst.clone()
+	}
+	m.shards = append(m.shards, c)
+	return c
+}
+
+// Windowed reports whether the medium runs in sharded (windowed) mode.
+func (m *Medium) Windowed() bool { return m.windowed }
+
+// RefreshIndex brings the spatial index's buckets up to date for positions
+// at t. Serial media never need it (Send refreshes lazily); a sharded run's
+// orchestrator calls it at each window start — from sim.Sharded.OnWindow,
+// with t = the window end — so every shard reads the index without writes
+// racing. Refreshing slightly ahead of a query is safe by the same
+// early-never-late argument as the index's crossing-time nudge: within one
+// lookahead a device moves a sub-millimetre fraction of a cell.
+func (m *Medium) RefreshIndex(t time.Duration) {
+	if m.index != nil {
+		m.index.refresh(t)
+	}
+}
+
+// getDelivery takes a record from the context's free list (or allocates the
+// pool's first few).
+func (c *Shard) getDelivery(dev *Interface, frame Frame) *delivery {
+	if n := len(c.freeDel); n > 0 {
+		d := c.freeDel[n-1]
+		c.freeDel[n-1] = nil
+		c.freeDel = c.freeDel[:n-1]
 		d.dev, d.frame = dev, frame
 		return d
 	}
 	return &delivery{dev: dev, frame: frame}
 }
 
-// putDelivery clears a record and returns it to the free list.
-func (m *Medium) putDelivery(d *delivery) {
+// putDelivery clears a record and returns it to the context's free list.
+func (c *Shard) putDelivery(d *delivery) {
 	d.dev = nil
 	d.frame = Frame{}
-	m.freeDel = append(m.freeDel, d)
+	c.freeDel = append(c.freeDel, d)
 }
 
 // Range returns the shared transmission range in metres.
 func (m *Medium) Range() float64 { return m.txRange }
 
-// Stats returns a snapshot of the channel counters. The snapshot is
-// independent of the live counters.
-func (m *Medium) Stats() Stats { return m.stats.clone() }
+// Stats returns a snapshot of the channel counters, summed over every
+// execution context. The snapshot is independent of the live counters.
+func (m *Medium) Stats() Stats {
+	var out Stats
+	for _, c := range m.shards {
+		out.add(&c.stats)
+	}
+	return out
+}
 
 // Attach adds a device with the given initial pseudonym, trajectory and
-// receive handler, returning its channel endpoint.
+// receive handler, returning its channel endpoint. On a sharded medium use
+// AttachOn: every device needs an explicit home shard.
 func (m *Medium) Attach(id wire.NodeID, loc mobility.Locator, recv Receiver) *Interface {
+	if m.windowed {
+		panic("radio: a sharded medium requires AttachOn with an explicit shard")
+	}
+	return m.AttachOn(m.serial, id, loc, recv)
+}
+
+// AttachOn adds a device homed on shard context c: its receive handler runs
+// on that shard, and its sends draw from that shard's RNG stream.
+func (m *Medium) AttachOn(c *Shard, id wire.NodeID, loc mobility.Locator, recv Receiver) *Interface {
+	if c == nil || c.m != m {
+		panic("radio: AttachOn requires a shard context of this medium")
+	}
 	if loc == nil || recv == nil {
 		panic("radio: Attach requires a locator and receiver")
 	}
 	if id == wire.Broadcast {
 		panic("radio: cannot attach with the broadcast NodeID")
 	}
-	ifc := &Interface{medium: m, id: id, loc: loc, recv: recv, seq: len(m.devices)}
+	ifc := &Interface{medium: m, shard: c, id: id, loc: loc, recv: recv, seq: len(m.devices)}
 	m.devices = append(m.devices, ifc)
 	if m.index != nil {
-		m.index.add(ifc, m.sched.Now())
+		m.index.add(ifc, c.rt.Now())
 	}
 	return ifc
 }
@@ -220,6 +322,7 @@ func (m *Medium) Attach(id wire.NodeID, loc mobility.Locator, recv Receiver) *In
 // Interface is one device's endpoint on the medium.
 type Interface struct {
 	medium   *Medium
+	shard    *Shard
 	id       wire.NodeID
 	loc      mobility.Locator
 	recv     Receiver
@@ -241,7 +344,9 @@ func (i *Interface) NodeID() wire.NodeID { return i.id }
 
 // SetNodeID changes the device's pseudonym (certificate renewal). Frames
 // already in flight to the old pseudonym are lost, as in a real identity
-// change.
+// change. In a sharded run, renames mutate the shared pseudonym map and so
+// may only happen from the anchor shard's solo slot (renewal is an
+// infrastructure interaction, so it already does).
 func (i *Interface) SetNodeID(id wire.NodeID) {
 	if id == wire.Broadcast {
 		panic("radio: cannot take the broadcast NodeID")
@@ -261,7 +366,8 @@ func (i *Interface) SetReceiver(recv Receiver) {
 	i.recv = recv
 }
 
-// Detach removes the device from the channel permanently.
+// Detach removes the device from the channel permanently. Anchor-solo only
+// in sharded runs, like SetNodeID.
 func (i *Interface) Detach() {
 	if i.detached {
 		return
@@ -293,12 +399,13 @@ func (i *Interface) active(t time.Duration) bool {
 // flight.
 func (i *Interface) Send(to wire.NodeID, payload []byte) bool {
 	m := i.medium
-	now := m.sched.Now()
+	c := i.shard
+	now := c.rt.Now()
 	if !i.active(now) {
-		m.stats.count(&m.stats.SuppressedFrames, payload, 0)
+		c.stats.count(&c.stats.SuppressedFrames, payload, 0)
 		return false
 	}
-	m.stats.count(&m.stats.SentFrames, payload, len(payload))
+	c.stats.count(&c.stats.SentFrames, payload, len(payload))
 	from := i.id
 	src := i.loc.PositionAt(now)
 	txDelay := time.Duration(float64(len(payload)*8) / m.bitrate * float64(time.Second))
@@ -307,7 +414,7 @@ func (i *Interface) Send(to wire.NodeID, payload []byte) bool {
 	switch {
 	case m.index == nil:
 		for _, dev := range m.devices {
-			if m.consider(i, dev, to, frame, src, txDelay, now) {
+			if m.consider(c, i, dev, to, frame, src, txDelay, now) {
 				acked = true
 			}
 		}
@@ -315,20 +422,22 @@ func (i *Interface) Send(to wire.NodeID, payload []byte) bool {
 		// The linear path draws no RNG for non-addressees, so resolving the
 		// addressee through the pseudonym map is draw-for-draw identical.
 		for _, dev := range m.index.byID[to] {
-			if m.consider(i, dev, to, frame, src, txDelay, now) {
+			if m.consider(c, i, dev, to, frame, src, txDelay, now) {
 				acked = true
 			}
 		}
 	default:
-		m.index.refresh(now)
-		for _, dev := range m.index.collect(src) {
-			if m.consider(i, dev, to, frame, src, txDelay, now) {
+		if !m.windowed {
+			m.index.refresh(now)
+		}
+		for _, dev := range m.index.collectInto(&c.scratch, src) {
+			if m.consider(c, i, dev, to, frame, src, txDelay, now) {
 				acked = true
 			}
 		}
 	}
 	if !acked {
-		m.stats.count(&m.stats.UnackedFrames, payload, len(payload))
+		c.stats.count(&c.stats.UnackedFrames, payload, len(payload))
 	}
 	return acked
 }
@@ -336,7 +445,7 @@ func (i *Interface) Send(to wire.NodeID, payload []byte) bool {
 // consider is the per-candidate body of Send, shared verbatim by the linear
 // scan and both index paths so their RNG draw sequences cannot diverge. It
 // reports whether a copy survived the loss process (the ack).
-func (m *Medium) consider(sender, dev *Interface, to wire.NodeID, frame Frame, src mobility.Position, txDelay time.Duration, now time.Duration) bool {
+func (m *Medium) consider(c *Shard, sender, dev *Interface, to wire.NodeID, frame Frame, src mobility.Position, txDelay time.Duration, now time.Duration) bool {
 	if dev == sender || !dev.active(now) {
 		return false
 	}
@@ -347,13 +456,13 @@ func (m *Medium) consider(sender, dev *Interface, to wire.NodeID, frame Frame, s
 	if dist > m.txRange {
 		return false
 	}
-	acked := m.offerCopy(dev, frame, txDelay, dist)
+	acked := m.offerCopy(c, dev, frame, txDelay, dist, now)
 	// Fault injection: a duplicate copy races the original with its own
 	// loss draw and jitter. The probability check short-circuits so an
 	// unconfigured medium draws exactly the same RNG sequence as before.
-	if m.dupProb > 0 && m.rng.Bool(m.dupProb) {
-		m.stats.count(&m.stats.DuplicatedFrames, frame.Payload, len(frame.Payload))
-		if m.offerCopy(dev, frame, txDelay, dist) {
+	if m.dupProb > 0 && c.rng.Bool(m.dupProb) {
+		c.stats.count(&c.stats.DuplicatedFrames, frame.Payload, len(frame.Payload))
+		if m.offerCopy(c, dev, frame, txDelay, dist, now) {
 			acked = true
 		}
 	}
@@ -365,61 +474,70 @@ func (m *Medium) consider(sender, dev *Interface, to wire.NodeID, frame Frame, s
 // time. Every offered copy ends up exactly once in DeliveredFrames or
 // LostFrames (or is still in flight) — the conservation ledger
 // CheckConservation audits.
-func (m *Medium) offerCopy(dev *Interface, frame Frame, txDelay time.Duration, dist float64) bool {
+func (m *Medium) offerCopy(c *Shard, dev *Interface, frame Frame, txDelay time.Duration, dist float64, now time.Duration) bool {
 	payload := frame.Payload
-	m.stats.count(&m.stats.OfferedFrames, payload, len(payload))
-	if m.dropCopy() {
-		m.stats.count(&m.stats.LostFrames, payload, len(payload))
+	c.stats.count(&c.stats.OfferedFrames, payload, len(payload))
+	if c.dropCopy() {
+		c.stats.count(&c.stats.LostFrames, payload, len(payload))
 		return false
 	}
 	prop := time.Duration(dist / propagationSpeed * float64(time.Second))
-	delay := txDelay + prop + m.rng.Jitter(m.jitterMax)
-	if m.reorderProb > 0 && m.rng.Bool(m.reorderProb) {
-		delay += m.rng.Jitter(m.reorderMax)
+	delay := txDelay + prop + c.rng.Jitter(m.jitterMax)
+	if m.reorderProb > 0 && c.rng.Bool(m.reorderProb) {
+		delay += c.rng.Jitter(m.reorderMax)
 	}
-	m.stats.InFlightFrames++
-	m.sched.AfterFunc(delay, m.deliver, m.getDelivery(dev, frame))
+	c.stats.InFlightFrames++
+	// Route the copy to the receiver's home shard; for a serial medium (and
+	// same-shard pairs) this is a plain AfterFunc on the shared runtime.
+	// Cross-shard delay is bounded below by txDelay, which is why a frame's
+	// minimum airtime is the sharded run's lookahead.
+	c.cross.PostTo(dev.shard.rt, now+delay, m.deliver, c.getDelivery(dev, frame))
 	return true
 }
 
 // deliverCopy is the shared arrival callback for every in-flight frame copy.
-// It settles the conservation ledger (delivered or lost), hands the frame to
-// the receiver, and recycles the delivery record — after recv returns, so a
-// re-entrant Send inside the receiver draws fresh records.
+// It runs on the receiver's home shard: it settles the conservation ledger
+// (delivered or lost) in the receiver shard's counters, hands the frame to
+// the receiver, and recycles the delivery record there — after recv returns,
+// so a re-entrant Send inside the receiver draws fresh records. In-flight
+// accounting may thus increment on one shard and decrement on another; the
+// per-shard counters are summed with wraparound in Stats, so the merged
+// ledger stays exact.
 func (m *Medium) deliverCopy(a any) {
 	d := a.(*delivery)
 	dev, frame := d.dev, d.frame
+	c := dev.shard
 	payload := frame.Payload
-	m.stats.InFlightFrames--
-	if !dev.active(m.sched.Now()) {
-		m.stats.count(&m.stats.LostFrames, payload, len(payload))
-		m.putDelivery(d)
+	c.stats.InFlightFrames--
+	if !dev.active(c.rt.Now()) {
+		c.stats.count(&c.stats.LostFrames, payload, len(payload))
+		c.putDelivery(d)
 		return
 	}
-	m.stats.count(&m.stats.DeliveredFrames, payload, len(payload))
+	c.stats.count(&c.stats.DeliveredFrames, payload, len(payload))
 	dev.recv(frame)
-	m.putDelivery(d)
+	c.putDelivery(d)
 }
 
 // dropCopy draws one loss decision: uniform by default, Gilbert–Elliott when
 // burst loss is configured.
-func (m *Medium) dropCopy() bool {
-	b := m.burst
+func (c *Shard) dropCopy() bool {
+	b := c.burst
 	if b == nil {
-		return m.rng.Bool(m.lossRate)
+		return c.rng.Bool(c.m.lossRate)
 	}
 	if b.bad {
-		if m.rng.Bool(b.badToGood) {
+		if c.rng.Bool(b.badToGood) {
 			b.bad = false
 		}
-	} else if m.rng.Bool(b.goodToBad) {
+	} else if c.rng.Bool(b.goodToBad) {
 		b.bad = true
 	}
 	p := b.lossGood
 	if b.bad {
 		p = b.lossBad
 	}
-	return m.rng.Bool(p)
+	return c.rng.Bool(p)
 }
 
 // Neighbors returns the pseudonyms of all active devices currently within
@@ -434,14 +552,17 @@ func (i *Interface) Neighbors() []wire.NodeID {
 // reuse one scratch buffer (dst[:0]) instead of allocating per poll.
 func (i *Interface) AppendNeighbors(dst []wire.NodeID) []wire.NodeID {
 	m := i.medium
-	now := m.sched.Now()
+	c := i.shard
+	now := c.rt.Now()
 	if !i.active(now) {
 		return dst
 	}
 	src := i.loc.PositionAt(now)
 	if m.index != nil {
-		m.index.refresh(now)
-		for _, dev := range m.index.collect(src) {
+		if !m.windowed {
+			m.index.refresh(now)
+		}
+		for _, dev := range m.index.collectInto(&c.scratch, src) {
 			if dev == i || !dev.active(now) {
 				continue
 			}
@@ -513,6 +634,35 @@ func (s *Stats) count(c *Counter, payload []byte, bytes int) {
 
 func (c Counter) String() string {
 	return fmt.Sprintf("%d frames / %d bytes", c.Frames, c.Bytes)
+}
+
+// add accumulates o into c, copying (never aliasing) o's per-kind map.
+func (c *Counter) add(o *Counter) {
+	c.Frames += o.Frames
+	c.Bytes += o.Bytes
+	if o.ByKind != nil {
+		if c.ByKind == nil {
+			c.ByKind = make(map[wire.Kind]uint64, len(o.ByKind))
+		}
+		for k, v := range o.ByKind {
+			c.ByKind[k] += v
+		}
+	}
+}
+
+// add accumulates o into s. In-flight counts sum with uint64 wraparound,
+// which keeps cross-shard deliveries exact: the receiver shard's decrement
+// may underflow its own counter, but the sum over shards is the true
+// in-flight count.
+func (s *Stats) add(o *Stats) {
+	s.SentFrames.add(&o.SentFrames)
+	s.OfferedFrames.add(&o.OfferedFrames)
+	s.DeliveredFrames.add(&o.DeliveredFrames)
+	s.LostFrames.add(&o.LostFrames)
+	s.DuplicatedFrames.add(&o.DuplicatedFrames)
+	s.SuppressedFrames.add(&o.SuppressedFrames)
+	s.UnackedFrames.add(&o.UnackedFrames)
+	s.InFlightFrames += o.InFlightFrames
 }
 
 func (c Counter) clone() Counter {

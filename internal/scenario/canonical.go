@@ -50,6 +50,14 @@ func Canonical(cfg Config) ([]byte, error) {
 	}
 	cfg.Trace = false
 	cfg.LinearScan = false
+	// Sharded outcomes depend only on the mode (serial vs. sharded), never on
+	// the exact worker count, so the key collapses RunWorkers to its
+	// equivalence class: 1 for every serial value, 2 for every sharded one.
+	if cfg.RunWorkers >= 2 {
+		cfg.RunWorkers = 2
+	} else {
+		cfg.RunWorkers = 1
+	}
 	b, err := json.Marshal(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("scenario: canonicalising config: %w", err)

@@ -114,6 +114,20 @@ type Config struct {
 	DataPackets int           // application packets sent once a route stands
 	MaxSimTime  time.Duration // hard stop
 	Trace       bool          // record a structured event log
+
+	// RunWorkers selects the intra-run execution mode. <= 1 (the default)
+	// runs the whole simulation on the serial scheduler — the legacy path,
+	// byte-identical across releases. >= 2 runs it as a cluster-sharded
+	// conservative parallel discrete-event simulation: filler vehicles are
+	// partitioned into contiguous cluster strips with one event queue each,
+	// executed on up to RunWorkers goroutines per conservative time window.
+	// Sharded runs are deterministic and *independent of the exact worker
+	// count* (2, 4 and 8 workers produce byte-identical outcomes), but they
+	// draw radio RNG from per-shard streams, so they form their own mode
+	// distinct from the serial stream. Sharded mode requires the spatial
+	// index (LinearScan false) and placeholder signatures (RealCrypto false),
+	// and excludes Trace — Validate enforces all three.
+	RunWorkers int
 }
 
 // DefaultConfig returns the paper's Table I parameters with protocol
@@ -250,6 +264,16 @@ func (c Config) Validate() error {
 		return fmt.Errorf("scenario: loss rate %v out of [0, 1)", c.LossRate)
 	case c.ExtraAttackers < 0 || c.ExtraAttackers > c.Vehicles/4:
 		return fmt.Errorf("scenario: %d extra attackers for %d vehicles", c.ExtraAttackers, c.Vehicles)
+	}
+	if c.RunWorkers >= 2 {
+		switch {
+		case c.RealCrypto:
+			return fmt.Errorf("scenario: RunWorkers=%d requires RealCrypto=false (ECDSA key material draws from one shared stream)", c.RunWorkers)
+		case c.Trace:
+			return fmt.Errorf("scenario: RunWorkers=%d excludes Trace (the recorder is not shard-safe)", c.RunWorkers)
+		case c.LinearScan:
+			return fmt.Errorf("scenario: RunWorkers=%d requires the spatial index (LinearScan=false)", c.RunWorkers)
+		}
 	}
 	return c.Fault.Validate(clusters)
 }

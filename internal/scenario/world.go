@@ -21,6 +21,23 @@ import (
 	"blackdp/internal/wire"
 )
 
+// shardStrips is the number of non-anchor strip shards in a sharded run
+// (Config.RunWorkers >= 2). It is fixed — never derived from the worker
+// count — so sharded outcomes are independent of how many workers execute
+// them: workers decide only which OS thread runs a strip, never what the
+// strip observes.
+const shardStrips = 8
+
+// shardLookahead is the conservative window length of a sharded run: a lower
+// bound on the virtual latency of every cross-shard interaction. Shards
+// interact only through the radio medium, whose per-copy delay is at least
+// the frame's airtime (transmission delay; propagation and jitter only add).
+// The smallest wire packet is well over 8 bytes, so 64 bits at the 6 Mb/s
+// DSRC bitrate — 10666ns, floored to stay a lower bound — is safe for every
+// frame. The radio layer panics on any cross-shard post that would land
+// inside the window, so a wrong bound fails loudly, never silently.
+const shardLookahead = 10666 * time.Nanosecond
+
 // World is one fully constructed simulation: infrastructure, population,
 // adversary and workload, ready to Run.
 type World struct {
@@ -52,6 +69,15 @@ type World struct {
 	mesh   *mobility.RoadMesh // non-nil for "grid"/"multi"/"interchange"
 	rng    *sim.RNG
 	vehSeq int
+
+	// Sharded execution (Config.RunWorkers >= 2). shard is the conservative
+	// PDES executor; ports are the per-sim-shard radio contexts, indexed like
+	// the executor's shards (0 = anchor). Both nil/empty on the serial path.
+	// fillers flips once the named protocol participants are placed: from
+	// then on new vehicles home on their initial cluster's strip shard.
+	shard   *sim.Sharded
+	ports   []*radio.Shard
+	fillers bool
 }
 
 // Hostile bundles one extra attacker with its interceptor and the pseudonym
@@ -127,7 +153,21 @@ func buildPooled(cfg Config, pool *sim.EventPool) (*World, error) {
 		return nil, err
 	}
 	rng := sim.NewRNG(cfg.Seed)
-	sched := sim.NewSchedulerWithPool(pool)
+	var (
+		sched *sim.Scheduler
+		shard *sim.Sharded
+	)
+	if cfg.RunWorkers >= 2 {
+		// Cluster-sharded conservative PDES: shard 0 anchors every agent that
+		// touches run-global state, shards 1..shardStrips carry contiguous
+		// strips of filler vehicles. The anchor's scheduler doubles as the
+		// world's build-time clock; every shard clock starts (and stays, at
+		// window barriers) in lockstep with it.
+		shard = sim.NewSharded(shardLookahead, 1+shardStrips, cfg.RunWorkers)
+		sched = shard.Anchor().Scheduler()
+	} else {
+		sched = sim.NewSchedulerWithPool(pool)
+	}
 
 	var scheme pki.Scheme = pki.Insecure{}
 	if cfg.RealCrypto {
@@ -151,17 +191,38 @@ func buildPooled(cfg Config, pool *sim.EventPool) (*World, error) {
 	if cfg.Fault.ReorderProb > 0 {
 		radioOpts = append(radioOpts, radio.WithReordering(cfg.Fault.ReorderProb, cfg.Fault.ReorderMax))
 	}
+	// Split order is part of the serial byte-identity contract: crypto (when
+	// real), core, radio — exactly the historical sequence.
+	coreRNG := rng.Split("core")
+	medium := radio.NewMedium(sched, rng.Split("radio"), radioOpts...)
+	var ports []*radio.Shard
+	if shard != nil {
+		// One radio context per sim shard, registered before any device
+		// attaches. Per-shard RNG streams are split serially here, so they
+		// are a pure function of the seed and the (fixed) shard count.
+		for i := 0; i < shard.Shards(); i++ {
+			sh := shard.Shard(i)
+			ports = append(ports, medium.AddShard(sh, sh, rng.Split(fmt.Sprintf("radio-shard-%d", i))))
+		}
+		// Windows read the spatial index lock-free; the barrier brings it up
+		// to the window end before any shard starts (refreshing slightly
+		// ahead is safe — see Medium.RefreshIndex).
+		shard.OnWindow(func(_, we time.Duration) { medium.RefreshIndex(we) })
+	}
 	env := core.Env{
 		Sched:    sched,
-		RNG:      rng.Split("core"),
+		RNG:      coreRNG,
 		Trust:    pki.NewTrustStore(),
 		Scheme:   scheme,
 		Dir:      cluster.NewDirectory(),
 		Highway:  topo,
-		Medium:   radio.NewMedium(sched, rng.Split("radio"), radioOpts...),
+		Medium:   medium,
 		Backbone: radio.NewBackbone(sched, cfg.BackboneLatency),
 		Tracer:   tracer,
 		Tally:    core.NewTally(),
+	}
+	if shard != nil {
+		env.Port = ports[0]
 	}
 	w := &World{
 		Cfg:         cfg,
@@ -174,6 +235,8 @@ func buildPooled(cfg Config, pool *sim.EventPool) (*World, error) {
 		attackerIDs: make(map[wire.NodeID]bool),
 		teammateIDs: make(map[wire.NodeID]bool),
 		rng:         rng,
+		shard:       shard,
+		ports:       ports,
 	}
 	if mesh != nil {
 		// Mesh clusters have more than two neighbors; the directory's
@@ -331,6 +394,7 @@ func (w *World) buildPopulationHighway() error {
 	}
 
 	// Filler traffic, both directions, uniform over the highway.
+	w.fillers = true
 	for len(w.Vehicles) < w.Cfg.Vehicles {
 		dir := mobility.Eastbound
 		if w.rng.Bool(0.5) {
@@ -406,6 +470,7 @@ func (w *World) buildPopulationMesh() error {
 	}
 
 	// Filler traffic, both directions, uniform over the road mesh.
+	w.fillers = true
 	for len(w.Vehicles) < w.Cfg.Vehicles {
 		dir := mobility.Eastbound
 		if w.rng.Bool(0.5) {
@@ -422,6 +487,42 @@ func (w *World) buildPopulationMesh() error {
 		v.Start()
 	}
 	return nil
+}
+
+// vehicleEnv returns the Env a new vehicle starting in cluster cid is built
+// with. Serial builds hand every agent the world Env verbatim. Sharded
+// builds home the named protocol participants (source, destination,
+// attackers — everything placed before the filler phase) on the anchor,
+// where their infrastructure interactions stay race-free, and each filler on
+// the strip shard owning its initial cluster: contiguous clusters share a
+// strip, so neighbours mostly stay local and only radio traffic crosses
+// shards.
+func (w *World) vehicleEnv(cid wire.ClusterID) core.Env {
+	env := w.Env
+	if w.shard == nil || !w.fillers {
+		return env
+	}
+	clusters := w.Topo.Clusters()
+	strip := 1 + (int(cid)-1)*shardStrips/clusters
+	if strip < 1 {
+		strip = 1
+	} else if strip > shardStrips {
+		strip = shardStrips
+	}
+	env.Sched = w.shard.Shard(strip)
+	env.Port = w.ports[strip]
+	return env
+}
+
+// runFor advances the run by d of virtual time on whichever executor the
+// build chose. All shard clocks (the anchor's included) sit at the same
+// instant when it returns, so w.Sched.Now() is the run's time in both modes.
+func (w *World) runFor(d time.Duration) {
+	if w.shard != nil {
+		w.shard.RunFor(d)
+		return
+	}
+	w.Sched.RunFor(d)
 }
 
 // hostileProfile builds the attack profile the config describes. It draws no
@@ -477,7 +578,7 @@ func (w *World) addVehicleOnRoad(ri int, along, speedMS float64, dir mobility.Di
 	if err != nil {
 		return nil, err
 	}
-	v, err := core.NewVehicleAgent(w.Env, w.Cfg.Vehicle, cred, mob)
+	v, err := core.NewVehicleAgent(w.vehicleEnv(cid), w.Cfg.Vehicle, cred, mob)
 	if err != nil {
 		return nil, err
 	}
@@ -560,7 +661,7 @@ func (w *World) addVehicle(x, speedMS float64, dir mobility.Direction) (*core.Ve
 	if err != nil {
 		return nil, err
 	}
-	v, err := core.NewVehicleAgent(w.Env, w.Cfg.Vehicle, cred, mob)
+	v, err := core.NewVehicleAgent(w.vehicleEnv(cid), w.Cfg.Vehicle, cred, mob)
 	if err != nil {
 		return nil, err
 	}
@@ -755,7 +856,7 @@ func (w *World) RunContext(ctx context.Context) (metrics.Outcome, error) {
 		if err := ctx.Err(); err != nil {
 			return metrics.Outcome{}, err
 		}
-		w.Sched.RunFor(500 * time.Millisecond)
+		w.runFor(500 * time.Millisecond)
 		if workDone && doneAt == 0 {
 			doneAt = w.Sched.Now()
 		}
@@ -890,13 +991,60 @@ func RunMany(cfg Config, reps int, mutate func(rep int, c *Config)) ([]metrics.O
 	return RunSweep(context.Background(), cfg, reps, SweepOptions{}, mutate)
 }
 
+// reconcileWorkers clamps the sweep pool size and the configs' intra-run
+// worker counts so the product of the two goroutine budgets stays within
+// GOMAXPROCS. A config's execution mode is semantic — RunWorkers >= 2
+// selects the sharded result stream — and is never changed here; only
+// goroutine counts shrink. Intra-run workers shrink first (parallel
+// replications use cores more efficiently than intra-run windows, and
+// sharded outcomes are worker-count independent, so the clamp cannot change
+// results) but never below 2; the sweep pool shrinks last, never below 1.
+// Sweeps whose configs are all serial pass through untouched.
+func reconcileWorkers(sweepWorkers int, cfgs []Config) int {
+	maxRun := 0
+	for _, c := range cfgs {
+		if c.RunWorkers > maxRun {
+			maxRun = c.RunWorkers
+		}
+	}
+	if maxRun < 2 {
+		return sweepWorkers
+	}
+	procs := exp.DefaultWorkers()
+	w := sweepWorkers
+	if w <= 0 {
+		w = procs
+	}
+	run := maxRun
+	if run > procs && procs >= 2 {
+		run = procs
+	}
+	if run < 2 {
+		run = 2
+	}
+	for w*run > procs && run > 2 {
+		run--
+	}
+	for w*run > procs && w > 1 {
+		w--
+	}
+	for i := range cfgs {
+		if cfgs[i].RunWorkers >= 2 && cfgs[i].RunWorkers > run {
+			cfgs[i].RunWorkers = run
+		}
+	}
+	return w
+}
+
 // RunSweep is RunMany with cancellation and sweep options. Replication
 // seeds are a pure function of cfg.Seed and the replication index, worlds
 // are built privately per replication, and outcomes are collected in
 // replication order — so any worker count yields identical results. The
 // mutate hooks are invoked serially in replication order before the sweep
 // fans out, preserving RunMany's historical contract (hooks may touch
-// caller state without locking).
+// caller state without locking). When configs request intra-run parallelism
+// (Config.RunWorkers >= 2) the two worker budgets are reconciled so their
+// product stays within GOMAXPROCS — see reconcileWorkers.
 func RunSweep(ctx context.Context, cfg Config, reps int, opt SweepOptions, mutate func(rep int, c *Config)) ([]metrics.Outcome, error) {
 	cfgs := make([]Config, reps)
 	for rep := range cfgs {
@@ -907,6 +1055,7 @@ func RunSweep(ctx context.Context, cfg Config, reps int, opt SweepOptions, mutat
 		}
 		cfgs[rep] = c
 	}
+	opt.Workers = reconcileWorkers(opt.Workers, cfgs)
 	return exp.MapScratch(ctx, reps, exp.Options{
 		Workers:  opt.Workers,
 		SeedOf:   func(rep int) int64 { return cfgs[rep].Seed },
@@ -936,6 +1085,7 @@ func RunSweepStream(ctx context.Context, cfg Config, reps int, opt SweepOptions,
 		}
 		cfgs[rep] = c
 	}
+	opt.Workers = reconcileWorkers(opt.Workers, cfgs)
 	stream := metrics.NewStream()
 	var mu sync.Mutex
 	_, err := exp.MapScratch(ctx, reps, exp.Options{

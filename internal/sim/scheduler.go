@@ -161,6 +161,16 @@ func (s *Scheduler) Executed() uint64 { return s.executed }
 // Pending returns the number of events waiting to fire.
 func (s *Scheduler) Pending() int { return s.events.Len() }
 
+// NextTime returns the time of the earliest pending event. ok is false when
+// the queue is empty. The sharded executor uses it to pick conservative
+// window bounds without disturbing the queue.
+func (s *Scheduler) NextTime() (t time.Duration, ok bool) {
+	if s.events.Len() == 0 {
+		return 0, false
+	}
+	return s.events[0].time, true
+}
+
 // schedule allocates (or recycles) a record for time t and pushes it.
 func (s *Scheduler) schedule(t time.Duration) *event {
 	if t < s.now {

@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// Edge cases the sharded executor stresses: repeated idle-hook re-arming,
+// deadline ties, Stop raced against Step, and pool reuse across run calls.
+
+func TestOnIdleReArming(t *testing.T) {
+	s := NewScheduler()
+	var drains int
+	var fired []int
+	s.OnIdle(func() {
+		drains++
+		if drains <= 3 {
+			n := drains
+			s.After(time.Duration(n)*time.Millisecond, func() { fired = append(fired, n) })
+		}
+	})
+	s.At(0, func() { fired = append(fired, 0) })
+	s.Run()
+	// The hook refills the queue three times; the fourth drain adds nothing
+	// and ends the run.
+	if drains != 4 {
+		t.Fatalf("idle hook ran %d times, want 4", drains)
+	}
+	want := []int{0, 1, 2, 3}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestOnIdleMultipleHooksRegistrationOrder(t *testing.T) {
+	s := NewScheduler()
+	var order []string
+	rearmed := false
+	s.OnIdle(func() { order = append(order, "a") })
+	s.OnIdle(func() {
+		order = append(order, "b")
+		if !rearmed {
+			rearmed = true
+			s.After(time.Millisecond, func() { order = append(order, "ev") })
+		}
+	})
+	s.Run()
+	want := []string{"a", "b", "ev", "a", "b"}
+	if len(order) != len(want) {
+		t.Fatalf("order %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestRunUntilSameTimestampAtDeadline(t *testing.T) {
+	s := NewScheduler()
+	deadline := 10 * time.Millisecond
+	var fired []int
+	// Several events exactly at the deadline, plus one just past it; the
+	// deadline batch fires in FIFO order, the later one stays pending.
+	for i := 0; i < 5; i++ {
+		i := i
+		s.At(deadline, func() { fired = append(fired, i) })
+	}
+	s.At(deadline+1, func() { fired = append(fired, 99) })
+	s.RunUntil(deadline)
+	if len(fired) != 5 {
+		t.Fatalf("fired %v, want exactly the 5 deadline events", fired)
+	}
+	for i := 0; i < 5; i++ {
+		if fired[i] != i {
+			t.Fatalf("deadline batch out of FIFO order: %v", fired)
+		}
+	}
+	if s.Now() != deadline {
+		t.Fatalf("now = %v, want %v", s.Now(), deadline)
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d, want the one post-deadline event", s.Pending())
+	}
+	// An event scheduled *during* the deadline batch for the same instant
+	// also fires within the same RunUntil.
+	s2 := NewScheduler()
+	var chained bool
+	s2.At(deadline, func() {
+		s2.At(deadline, func() { chained = true })
+	})
+	s2.RunUntil(deadline)
+	if !chained {
+		t.Fatal("same-timestamp event scheduled at the deadline did not fire")
+	}
+}
+
+func TestStopDuringStep(t *testing.T) {
+	s := NewScheduler()
+	var seen []int
+	s.At(1, func() { seen = append(seen, 1); s.Stop() })
+	s.At(2, func() { seen = append(seen, 2) })
+
+	// Stop set via a manual Step is cleared when a run starts, so the
+	// remaining event still fires.
+	if !s.Step() {
+		t.Fatal("Step fired nothing")
+	}
+	if len(seen) != 1 || seen[0] != 1 {
+		t.Fatalf("seen %v after Step", seen)
+	}
+	s.Run()
+	if len(seen) != 2 || seen[1] != 2 {
+		t.Fatalf("seen %v after Run; Stop from a bare Step must not stick", seen)
+	}
+
+	// Stop fired from inside a run halts it with later events intact and
+	// the clock parked at the stopping event's time, not the deadline.
+	s = NewScheduler()
+	seen = nil
+	s.At(1, func() { seen = append(seen, 1); s.Stop() })
+	s.At(2, func() { seen = append(seen, 2) })
+	s.RunUntil(10)
+	if len(seen) != 1 {
+		t.Fatalf("seen %v, want only the stopping event", seen)
+	}
+	if s.Now() != 1 {
+		t.Fatalf("now = %v, want clock parked at the stopping event", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d, want the undelivered event retained", s.Pending())
+	}
+	// The next run resumes cleanly.
+	s.RunUntil(10)
+	if len(seen) != 2 {
+		t.Fatalf("seen %v after resuming", seen)
+	}
+}
+
+func TestPoolReuseAcrossRunCalls(t *testing.T) {
+	pool := NewEventPool()
+	s := NewSchedulerWithPool(pool)
+	const n = 32
+	for i := 0; i < n; i++ {
+		s.At(time.Duration(i), func() {})
+	}
+	s.Run()
+	if got := len(pool.free); got != n {
+		t.Fatalf("free list has %d records after first run, want %d", got, n)
+	}
+
+	// A second batch on the same scheduler drains the free list instead of
+	// allocating.
+	for i := 0; i < n; i++ {
+		s.After(time.Duration(i+1), func() {})
+	}
+	if got := len(pool.free); got != 0 {
+		t.Fatalf("free list has %d records after rescheduling, want 0 (all reused)", got)
+	}
+	s.Run()
+
+	// A fresh scheduler sharing the pool also reuses the warmed-up records,
+	// and generation fencing keeps old Timer handles inert across the reuse.
+	s2 := NewSchedulerWithPool(pool)
+	var timers []Timer
+	for i := 0; i < n; i++ {
+		timers = append(timers, s2.At(time.Duration(i), func() {}))
+	}
+	if got := len(pool.free); got != 0 {
+		t.Fatalf("free list has %d records on the second scheduler, want 0", got)
+	}
+	s2.Run()
+	for i := range timers {
+		if timers[i].Active() {
+			t.Fatalf("timer %d still active after its event fired", i)
+		}
+		if timers[i].Stop() {
+			t.Fatalf("timer %d Stop claimed to cancel a fired event", i)
+		}
+	}
+	if got := len(pool.free); got != n {
+		t.Fatalf("free list has %d records after second scheduler ran, want %d", got, n)
+	}
+}

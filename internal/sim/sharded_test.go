@@ -1,0 +1,333 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+const la = 10 * time.Microsecond // test lookahead
+
+// traceLog collects (time, shard, label) entries per shard so parallel
+// windows never contend; merged in deterministic shard order afterwards.
+type traceLog struct {
+	mu      sync.Mutex
+	byShard map[int][]string
+}
+
+func newTraceLog() *traceLog { return &traceLog{byShard: map[int][]string{}} }
+
+func (l *traceLog) add(shard int, at time.Duration, label string) {
+	l.mu.Lock()
+	l.byShard[shard] = append(l.byShard[shard], fmt.Sprintf("%d@%v:%s", shard, at, label))
+	l.mu.Unlock()
+}
+
+func (l *traceLog) flat(shards int) []string {
+	var out []string
+	for i := 0; i < shards; i++ {
+		out = append(out, l.byShard[i]...)
+	}
+	return out
+}
+
+// pingPong runs a deterministic cross-shard exchange and returns the per-shard
+// trace: shard 1 and shard 2 bounce an incrementing counter back and forth
+// through PostTo while the anchor ticks a heartbeat.
+func pingPong(workers int) []string {
+	x := NewSharded(la, 3, workers)
+	log := newTraceLog()
+
+	type ball struct{ n int }
+	var volley func(from, to *ShardRuntime, b *ball)
+	volley = func(from, to *ShardRuntime, b *ball) {
+		log.add(from.ID(), from.Now(), fmt.Sprintf("hit%d", b.n))
+		if b.n >= 20 {
+			return
+		}
+		b.n++
+		from.PostTo(to, from.Now()+2*la, func(any) { volley(to, from, b) }, nil)
+	}
+
+	s1, s2 := x.Shard(1), x.Shard(2)
+	s1.At(0, func() { volley(s1, s2, &ball{}) })
+
+	anchor := x.Anchor()
+	var beat func()
+	beat = func() {
+		log.add(0, anchor.Now(), "beat")
+		if anchor.Now() < 20*la {
+			anchor.After(3*la, beat)
+		}
+	}
+	anchor.At(la, beat)
+
+	x.RunUntil(100 * la)
+	return log.flat(3)
+}
+
+func TestShardedCrossShardDeterministicAcrossWorkers(t *testing.T) {
+	want := pingPong(1)
+	if len(want) == 0 {
+		t.Fatal("empty trace")
+	}
+	for _, w := range []int{2, 4, 8} {
+		got := pingPong(w)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: trace length %d != %d", w, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: trace[%d] = %q, want %q", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestShardedAnchorRunsBeforeStrips(t *testing.T) {
+	// The anchor bumps a shared epoch at the head of each window; strip
+	// shards read it with no synchronization of their own. Under -race this
+	// verifies the solo-slot happens-before edge; in any mode it verifies
+	// the strips observe the anchor's write from the same window.
+	x := NewSharded(la, 4, 4)
+	epoch := 0
+
+	var tick func()
+	tick = func() {
+		epoch++
+		if x.Anchor().Now() < 50*la {
+			x.Anchor().After(5*la, tick)
+		}
+	}
+	x.Anchor().At(0, tick)
+
+	type obs struct {
+		at    time.Duration
+		epoch int
+	}
+	seen := make([][]obs, 4)
+	for i := 1; i < 4; i++ {
+		sh := x.Shard(i)
+		i := i
+		var poll func()
+		poll = func() {
+			seen[i] = append(seen[i], obs{sh.Now(), epoch})
+			if sh.Now() < 50*la {
+				sh.After(5*la, poll)
+			}
+		}
+		sh.At(0, poll)
+	}
+
+	x.RunUntil(60 * la)
+
+	for i := 1; i < 4; i++ {
+		if len(seen[i]) == 0 {
+			t.Fatalf("shard %d observed nothing", i)
+		}
+		last := -1
+		for _, o := range seen[i] {
+			if o.epoch < last {
+				t.Fatalf("shard %d saw epoch regress: %v", i, seen[i])
+			}
+			last = o.epoch
+			if o.epoch == 0 {
+				t.Fatalf("shard %d read epoch before anchor's same-window write at %v", i, o.at)
+			}
+		}
+	}
+}
+
+func TestShardedMailMergeOrder(t *testing.T) {
+	// Shards 1..3 all post to the anchor for the same instant within one
+	// window; delivery must interleave by (time, source shard, post order)
+	// regardless of worker count.
+	for _, workers := range []int{1, 3} {
+		x := NewSharded(la, 4, workers)
+		var got []string
+		target := 10 * la
+		for i := 1; i < 4; i++ {
+			sh := x.Shard(i)
+			i := i
+			sh.At(0, func() {
+				for k := 0; k < 3; k++ {
+					k := k
+					sh.PostTo(x.Anchor(), target, func(any) {
+						got = append(got, fmt.Sprintf("s%dk%d", i, k))
+					}, nil)
+					// Interleave with a later-time post to prove sorting is
+					// by time first, not source order.
+					sh.PostTo(x.Anchor(), target+la, func(any) {
+						got = append(got, fmt.Sprintf("late-s%dk%d", i, k))
+					}, nil)
+				}
+			})
+		}
+		x.RunUntil(20 * la)
+
+		want := []string{
+			"s1k0", "s1k1", "s1k2", "s2k0", "s2k1", "s2k2", "s3k0", "s3k1", "s3k2",
+			"late-s1k0", "late-s1k1", "late-s1k2", "late-s2k0", "late-s2k1", "late-s2k2",
+			"late-s3k0", "late-s3k1", "late-s3k2",
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: got %d deliveries, want %d: %v", workers, len(got), len(want), got)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: delivery[%d] = %q, want %q (full: %v)", workers, i, got[i], want[i], got)
+			}
+		}
+	}
+}
+
+func TestShardedLookaheadViolationPanics(t *testing.T) {
+	x := NewSharded(la, 2, 1)
+	x.Shard(1).At(0, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected lookahead violation panic")
+			}
+			panic(stopRun{})
+		}()
+		// Posting inside the current window must panic.
+		x.Shard(1).PostTo(x.Anchor(), x.Shard(1).Now(), func(any) {}, nil)
+	})
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(stopRun); !ok {
+					panic(r)
+				}
+			}
+		}()
+		x.RunUntil(la)
+	}()
+}
+
+type stopRun struct{}
+
+func TestShardedSameShardPostInsideWindow(t *testing.T) {
+	// A same-shard PostTo is an ordinary AtFunc: no window constraint.
+	x := NewSharded(la, 2, 1)
+	fired := false
+	sh := x.Shard(1)
+	sh.At(0, func() {
+		sh.PostTo(sh, sh.Now(), func(any) { fired = true }, nil)
+	})
+	x.RunUntil(la)
+	if !fired {
+		t.Fatal("same-shard post within window did not fire")
+	}
+}
+
+func TestShardedForeignDestinationPanics(t *testing.T) {
+	x := NewSharded(la, 2, 1)
+	y := NewSharded(la, 2, 1)
+	x.Shard(1).At(0, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected foreign-destination panic")
+			}
+		}()
+		x.Shard(1).PostTo(y.Shard(1), 5*la, func(any) {}, nil)
+	})
+	x.RunUntil(la)
+}
+
+func TestShardedClocksReachDeadline(t *testing.T) {
+	x := NewSharded(la, 3, 2)
+	x.Shard(1).At(0, func() {})
+	deadline := 7 * la
+	x.RunUntil(deadline)
+	if x.Now() != deadline {
+		t.Fatalf("executor now = %v, want %v", x.Now(), deadline)
+	}
+	for i := 0; i < x.Shards(); i++ {
+		if got := x.Shard(i).Now(); got != deadline {
+			t.Fatalf("shard %d now = %v, want %v", i, got, deadline)
+		}
+	}
+	// RunFor continues from the new now.
+	x.RunFor(3 * la)
+	if x.Now() != 10*la {
+		t.Fatalf("after RunFor, now = %v, want %v", x.Now(), 10*la)
+	}
+}
+
+func TestShardedPastDeadlinePanics(t *testing.T) {
+	x := NewSharded(la, 2, 1)
+	x.RunUntil(5 * la)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected past-deadline panic")
+		}
+	}()
+	x.RunUntil(la)
+}
+
+func TestShardedExecutedAndPending(t *testing.T) {
+	x := NewSharded(la, 3, 1)
+	x.Shard(1).At(0, func() {})
+	x.Shard(2).At(0, func() {})
+	x.Anchor().At(100*la, func() {})
+	if got := x.Pending(); got != 3 {
+		t.Fatalf("pending = %d, want 3", got)
+	}
+	x.RunUntil(la)
+	if got := x.Executed(); got != 2 {
+		t.Fatalf("executed = %d, want 2", got)
+	}
+	if got := x.Pending(); got != 1 {
+		t.Fatalf("pending = %d, want 1", got)
+	}
+}
+
+func TestSerialSchedulerPostTo(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	s.At(0, func() {
+		s.PostTo(s, 5*time.Microsecond, func(any) { fired = true }, nil)
+	})
+	s.Run()
+	if !fired {
+		t.Fatal("serial PostTo did not fire")
+	}
+
+	other := NewScheduler()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected foreign-runtime panic")
+		}
+	}()
+	s.PostTo(other, 10*time.Microsecond, func(any) {}, nil)
+}
+
+func TestShardedConstructorValidation(t *testing.T) {
+	for _, tc := range []struct {
+		la      time.Duration
+		shards  int
+		wantBad bool
+	}{
+		{0, 2, true},
+		{-la, 2, true},
+		{la, 0, true},
+		{la, 1, false},
+		{la, 9, false},
+	} {
+		func() {
+			defer func() {
+				if (recover() != nil) != tc.wantBad {
+					t.Errorf("NewSharded(%v, %d, 1): panic mismatch", tc.la, tc.shards)
+				}
+			}()
+			NewSharded(tc.la, tc.shards, 1)
+		}()
+	}
+	// Workers clamp to shard count - 1.
+	x := NewSharded(la, 3, 64)
+	if x.workers != 2 {
+		t.Fatalf("workers = %d, want clamp to 2", x.workers)
+	}
+}

@@ -8,11 +8,15 @@
 #
 # The metro curve (BenchmarkMetroRun1k/10k/100k in internal/scenario) runs
 # whole 18-to-1058-cluster worlds end to end, so it runs once per point with
-# -benchtime 1x. The 100k point takes tens of minutes; it is included only
+# -benchtime 1x. Each size also runs on the cluster-sharded executor at 2, 4
+# and 8 intra-run workers (the *WorkersN variants), so BENCH_core.json
+# carries the full workers=1/2/4/8 curve — read it against the machine's
+# core count; on fewer cores the sharded points price the sharding tax, not
+# a speedup. The 100k points take tens of minutes; they are included only
 # with METRO=full, so the default invocation stays quick:
 #
 #   scripts/bench.sh [benchtime] [count]   # defaults 10x and 5; metro 1k+10k
-#   METRO=full scripts/bench.sh            # adds the 100k acceptance point
+#   METRO=full scripts/bench.sh            # adds the 100k acceptance points
 #   METRO=none scripts/bench.sh            # micro-benchmarks only
 set -eu
 cd "$(dirname "$0")/.."
@@ -79,8 +83,8 @@ core_entries="$(echo "$core_raw" | entries)"
 
 case "$metro" in
 none) metro_regex='' ;;
-full) metro_regex='^BenchmarkMetroRun(1k|10k|100k)$' ;;
-*) metro_regex='^BenchmarkMetroRun(1k|10k)$' ;;
+full) metro_regex='^BenchmarkMetroRun(1k|10k|100k)(Workers[248])?$' ;;
+*) metro_regex='^BenchmarkMetroRun(1k|10k)(Workers[248])?$' ;;
 esac
 if [ -n "$metro_regex" ]; then
 	metro_raw="$(go test ./internal/scenario -run '^$' -bench "$metro_regex" \
