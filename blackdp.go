@@ -106,6 +106,14 @@ const (
 	CooperativeBlackHole = scenario.CooperativeBlackHole
 )
 
+// Crypto scheme names for Config.CryptoScheme and [WithCryptoScheme]. The
+// empty string derives the scheme from the legacy Config.RealCrypto boolean.
+const (
+	SchemeECDSA       = scenario.SchemeECDSA
+	SchemeSession     = scenario.SchemeSession
+	SchemePlaceholder = scenario.SchemePlaceholder
+)
+
 // Figure 5 categories.
 const (
 	Fig5NoAttackerLocal        = scenario.Fig5NoAttackerLocal
@@ -128,17 +136,27 @@ func DefaultConfig() Config { return scenario.DefaultConfig() }
 type Option func(*options)
 
 type options struct {
-	workers       int
-	runWorkers    int
-	runWorkersSet bool
-	progress      func(done, total int)
-	onRep         func(rep int, err error)
-	mutate        func(rep int, c *Config)
+	workers          int
+	runWorkers       int
+	runWorkersSet    bool
+	cryptoScheme     string
+	cryptoSchemeSet  bool
+	noVerifyCache    bool
+	noVerifyCacheSet bool
+	progress         func(done, total int)
+	onRep            func(rep int, err error)
+	mutate           func(rep int, c *Config)
 }
 
 func (o options) applyRunWorkers(cfg Config) Config {
 	if o.runWorkersSet {
 		cfg.RunWorkers = o.runWorkers
+	}
+	if o.cryptoSchemeSet {
+		cfg.CryptoScheme = o.cryptoScheme
+	}
+	if o.noVerifyCacheSet {
+		cfg.NoVerifyCache = o.noVerifyCache
 	}
 	return cfg
 }
@@ -166,12 +184,35 @@ func WithWorkers(n int) Option { return func(o *options) { o.workers = n } }
 // conservative parallel simulation on up to n goroutines. Sharded results
 // are deterministic and independent of the exact worker count, but form
 // their own mode, distinct from the serial stream; sharded configs must use
-// placeholder crypto and the spatial index (Config.Validate enforces it).
+// the spatial index (Config.Validate enforces it). Any crypto scheme shards
+// cleanly: verification caches are per-agent and signing randomness is
+// drawn from per-shard streams.
 // In sweeps the two worker budgets are reconciled so sweep workers times
 // intra-run workers stays within GOMAXPROCS — intra-run shrinks first,
 // never below 2, and the mode is never silently changed.
 func WithRunWorkers(n int) Option {
 	return func(o *options) { o.runWorkers, o.runWorkersSet = n, true }
+}
+
+// WithCryptoScheme sets Config.CryptoScheme on every run the call
+// dispatches: [SchemeECDSA] signs and verifies every packet with ECDSA
+// P-256 (the paper's model), [SchemeSession] amortises one ECDSA signature
+// per pseudonym epoch into per-packet HMAC-SHA256 session tokens, and
+// [SchemePlaceholder] is the free no-op scheme. The scheme is part of the
+// run's fingerprint; ECDSA and session-token runs of one seed are
+// byte-identical because every scheme occupies the same fixed-width
+// signature frame.
+func WithCryptoScheme(name string) Option {
+	return func(o *options) { o.cryptoScheme, o.cryptoSchemeSet = name, true }
+}
+
+// WithVerifyCache toggles the per-agent signature verification cache
+// (Config.NoVerifyCache inverted). The cache is byte-for-bit invisible —
+// the crypto differential suite holds cached and uncached runs identical —
+// so disabling it only slows the run; the reference path exists for
+// differential testing.
+func WithVerifyCache(enabled bool) Option {
+	return func(o *options) { o.noVerifyCache, o.noVerifyCacheSet = !enabled, true }
 }
 
 // WithProgress installs a callback invoked after each replication completes

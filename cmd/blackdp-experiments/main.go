@@ -6,7 +6,7 @@
 //	blackdp-experiments fig5  [-reps 10]       # detection packets per scenario class
 //	blackdp-experiments compare [-reps 20]     # ablation: SN baselines vs BlackDP
 //	blackdp-experiments connector [-reps 10]   # ablation: the connector case
-//	blackdp-experiments crypto [-reps 10]      # ablation: ECDSA vs free signatures
+//	blackdp-experiments crypto [-reps 10]      # ablation: ECDSA vs cached / session-token / free signatures
 //	blackdp-experiments loss [-reps 10]        # ablation: detection under channel loss
 //	blackdp-experiments density [-reps 10]     # ablation: vehicle density (RSU load)
 //	blackdp-experiments topology [-reps 10]    # ablation: highway vs grid/multi/interchange worlds
@@ -47,8 +47,8 @@ func main() {
 	reps := fs.Int("reps", defaultReps(cmd), "repetitions per data point")
 	seed := fs.Int64("seed", 1, "base random seed")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "replication pool size (1 = serial)")
-	runWorkers := fs.Int("run-workers", 1, "intra-run shard workers per simulation (<=1 = serial scheduler; >=2 = cluster-sharded parallel runs, requires -crypto=false)")
-	crypto := fs.Bool("crypto", true, "real ECDSA signatures (false = free placeholder; required for -run-workers >= 2)")
+	runWorkers := fs.Int("run-workers", 1, "intra-run shard workers per simulation (<=1 = serial scheduler; >=2 = cluster-sharded parallel runs)")
+	crypto := fs.Bool("crypto", true, "real ECDSA signatures (false = free placeholder)")
 	csvDir := fs.String("csv", "", "directory to write CSV artefacts into")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)

@@ -48,6 +48,11 @@ type Env struct {
 	// nil in serial runs, where Medium.Attach uses the implicit serial
 	// context; sharded world builds set it per agent alongside Sched.
 	Port *radio.Shard
+
+	// NoVerifyCache disables the per-agent verification cache so every
+	// envelope pays the full Open cost — the reference path the crypto
+	// differential wall compares against.
+	NoVerifyCache bool
 }
 
 func (e *Env) check() {
@@ -55,6 +60,14 @@ func (e *Env) check() {
 		e.Dir == nil || e.Highway == nil || e.Medium == nil || e.Backbone == nil {
 		panic("core: Env is missing required facilities")
 	}
+}
+
+// NewVerifier builds the agent's verification front end: per-agent cached
+// verification over the Env's scheme ("verify once per node"), or the
+// uncached reference path when NoVerifyCache is set. Each agent owns its
+// Verifier, so sharded runs share no verification state across shards.
+func (e *Env) NewVerifier() *pki.Verifier {
+	return pki.NewVerifier(e.Trust, e.Scheme, pki.VerifierOptions{Disabled: e.NoVerifyCache})
 }
 
 // AttachRadio attaches a radio interface on the agent's home shard: the

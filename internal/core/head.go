@@ -148,6 +148,8 @@ type HeadAgent struct {
 	memb    *cluster.Head
 	ep      *radio.BackboneEndpoint
 
+	verifier *pki.Verifier // per-head verification cache
+
 	cases           map[wire.NodeID]*detectionCase
 	resolved        map[wire.NodeID]*resolvedCase
 	pendingRenewals map[wire.NodeID]bool
@@ -171,6 +173,7 @@ func NewHeadAgent(env Env, cfg HeadConfig, cred *pki.Credential, c wire.ClusterI
 		cred:            cred,
 		cluster:         c,
 		pos:             env.Highway.ClusterCenter(int(c)),
+		verifier:        env.NewVerifier(),
 		cases:           make(map[wire.NodeID]*detectionCase),
 		resolved:        make(map[wire.NodeID]*resolvedCase),
 		pendingRenewals: make(map[wire.NodeID]bool),
@@ -380,7 +383,7 @@ func (h *HeadAgent) handleDetectReqRadio(p *wire.DetectReq, env *wire.Secure, fr
 		return
 	}
 	h.afterVerification(func() {
-		_, cert, err := pki.Open(env, h.env.Trust, h.env.Sched.Now(), h.env.Scheme)
+		_, cert, err := h.verifier.Open(env, h.env.Sched.Now())
 		if err != nil || cert.Node != p.Reporter {
 			h.stats.AuthFailures++
 			h.env.Tracer.Logf(h.NodeID(), trace.CatDetect, "d_req from %v failed authentication", from)
@@ -427,7 +430,7 @@ func (h *HeadAgent) relayRenewal(env *wire.Secure, f radio.Frame) {
 		return
 	}
 	h.afterVerification(func() {
-		inner, cert, err := pki.Open(env, h.env.Trust, h.env.Sched.Now(), h.env.Scheme)
+		inner, cert, err := h.verifier.Open(env, h.env.Sched.Now())
 		if err != nil {
 			h.stats.AuthFailures++
 			return
@@ -651,7 +654,7 @@ func (h *HeadAgent) handleProbeReply(c *detectionCase, f radio.Frame) {
 		return
 	}
 	if sec, ok := pkt.(*wire.Secure); ok {
-		inner, cert, err := pki.Open(sec, h.env.Trust, h.env.Sched.Now(), h.env.Scheme)
+		inner, cert, err := h.verifier.Open(sec, h.env.Sched.Now())
 		if err == nil && cert.Node == c.suspect {
 			// An authenticated reply pins the exact certificate to revoke.
 			c.serial = cert.Serial

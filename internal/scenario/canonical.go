@@ -50,6 +50,15 @@ func Canonical(cfg Config) ([]byte, error) {
 	}
 	cfg.Trace = false
 	cfg.LinearScan = false
+	// The verification cache is byte-for-bit invisible (the crypto
+	// differential suite holds cached and uncached runs identical), so the
+	// reference-path knob never reaches the key. The scheme, by contrast,
+	// changes the run: resolve it to its explicit name so the legacy
+	// RealCrypto boolean and an equivalent CryptoScheme string collapse to
+	// one key, and scheme classes never share cache entries.
+	cfg.NoVerifyCache = false
+	cfg.CryptoScheme = cfg.SchemeName()
+	cfg.RealCrypto = cfg.CryptoScheme != SchemePlaceholder
 	// Sharded outcomes depend only on the mode (serial vs. sharded), never on
 	// the exact worker count, so the key collapses RunWorkers to its
 	// equivalence class: 1 for every serial value, 2 for every sharded one.

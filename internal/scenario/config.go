@@ -95,6 +95,21 @@ type Config struct {
 	Head       core.HeadConfig
 	RealCrypto bool // true: ECDSA P-256; false: free placeholder signatures
 
+	// CryptoScheme picks the signature scheme by name, overriding the
+	// RealCrypto boolean: "ecdsa" (P-256 per packet), "session" (one ECDSA
+	// anchor per pseudonym epoch + HMAC-SHA256 per packet), or
+	// "placeholder" (free digests, the ablation). Empty derives the scheme
+	// from RealCrypto, keeping old configs working. The resolved name is
+	// part of the canonical fingerprint: scheme classes never share cache
+	// entries.
+	CryptoScheme string
+
+	// NoVerifyCache disables the per-agent verification cache, paying the
+	// full Open cost on every reception. It is the reference path the
+	// crypto differential wall compares against and is excluded from the
+	// canonical fingerprint (caching is observably invisible).
+	NoVerifyCache bool
+
 	// Attack.
 	Attack          AttackKind
 	AttackerCluster int // 1-based; 0 picks a random cluster
@@ -123,11 +138,32 @@ type Config struct {
 	// executed on up to RunWorkers goroutines per conservative time window.
 	// Sharded runs are deterministic and *independent of the exact worker
 	// count* (2, 4 and 8 workers produce byte-identical outcomes), but they
-	// draw radio RNG from per-shard streams, so they form their own mode
-	// distinct from the serial stream. Sharded mode requires the spatial
-	// index (LinearScan false) and placeholder signatures (RealCrypto false),
-	// and excludes Trace — Validate enforces all three.
+	// draw radio RNG from per-shard streams (and, under real crypto,
+	// per-shard signing streams), so they form their own mode distinct
+	// from the serial stream. Sharded mode requires the spatial index
+	// (LinearScan false) and excludes Trace — Validate enforces both; any
+	// crypto scheme is allowed, since verification state is per-agent and
+	// signing randomness is per-shard.
 	RunWorkers int
+}
+
+// CryptoScheme names accepted by Config.CryptoScheme.
+const (
+	SchemeECDSA       = "ecdsa"       // full ECDSA P-256 per packet
+	SchemeSession     = "session"     // ECDSA anchor per epoch + HMAC per packet
+	SchemePlaceholder = "placeholder" // free digest signatures (ablation)
+)
+
+// SchemeName resolves the effective crypto scheme: the explicit CryptoScheme
+// if set, otherwise derived from the legacy RealCrypto boolean.
+func (c Config) SchemeName() string {
+	if c.CryptoScheme != "" {
+		return c.CryptoScheme
+	}
+	if c.RealCrypto {
+		return SchemeECDSA
+	}
+	return SchemePlaceholder
 }
 
 // DefaultConfig returns the paper's Table I parameters with protocol
@@ -265,10 +301,14 @@ func (c Config) Validate() error {
 	case c.ExtraAttackers < 0 || c.ExtraAttackers > c.Vehicles/4:
 		return fmt.Errorf("scenario: %d extra attackers for %d vehicles", c.ExtraAttackers, c.Vehicles)
 	}
+	switch c.SchemeName() {
+	case SchemeECDSA, SchemeSession, SchemePlaceholder:
+	default:
+		return fmt.Errorf("scenario: unknown crypto scheme %q (want %q, %q or %q)",
+			c.CryptoScheme, SchemeECDSA, SchemeSession, SchemePlaceholder)
+	}
 	if c.RunWorkers >= 2 {
 		switch {
-		case c.RealCrypto:
-			return fmt.Errorf("scenario: RunWorkers=%d requires RealCrypto=false (ECDSA key material draws from one shared stream)", c.RunWorkers)
 		case c.Trace:
 			return fmt.Errorf("scenario: RunWorkers=%d excludes Trace (the recorder is not shard-safe)", c.RunWorkers)
 		case c.LinearScan:

@@ -1,0 +1,250 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"blackdp/internal/metrics"
+)
+
+// The crypto differential wall. Three invariants pinned here:
+//
+//  1. The verification cache is byte-for-bit invisible: a cached run and a
+//     NoVerifyCache reference run of the same config produce identical
+//     outcomes, seed by seed, and the cached stream matches a golden hash so
+//     the fast path cannot drift across releases.
+//  2. The session-token scheme is its own pinned deterministic stream — and,
+//     because every scheme frames its signature into the same fixed-width
+//     wire slot, a session-token run is byte-identical to the ECDSA run of
+//     the same seed (same frame sizes, same radio timing, same RNG draws).
+//  3. Scheme choice never changes the protocol's verdict: detection,
+//     isolation, false accusations and delivery agree across ECDSA,
+//     session-token and placeholder, even though placeholder runs skip the
+//     "crypto" RNG split and so see different radio noise.
+//
+// CI runs this file with -race; together with per-agent verifiers that is
+// the proof that the cache and the session store introduce no shared state
+// races under the sharded executor.
+
+// cryptoDiffConfig is a scaled-down world (matching diffConfig) that still
+// exercises detection, isolation, renewal relays and re-broadcast floods —
+// every path that opens sealed envelopes — across 20 seeds in a few seconds.
+func cryptoDiffConfig(seed int64) Config {
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	cfg.HighwayLengthM = 4000
+	cfg.Vehicles = 30
+	cfg.Authorities = 2
+	cfg.AttackerCluster = 2
+	cfg.DataPackets = 5
+	cfg.MaxSimTime = 45 * time.Second
+	cfg.RealCrypto = true
+	return cfg
+}
+
+const cryptoDiffSeeds = 20
+
+// Golden hashes of the JSON-marshalled outcome stream for seeds 1..20.
+// Regenerate by logging cryptoStreamHash's input after an intentional
+// behaviour change; an unintentional mismatch is a broken invariant.
+const (
+	cryptoECDSAGoldenHash   = "1cecae63e41046564e14d60760efead4cff788fa97cdbfb52a3bad70dd183b5f"
+	cryptoSessionGoldenHash = "1cecae63e41046564e14d60760efead4cff788fa97cdbfb52a3bad70dd183b5f"
+)
+
+func cryptoStreamHash(t *testing.T, outcomes []metrics.Outcome) string {
+	t.Helper()
+	b, err := json.Marshal(outcomes)
+	if err != nil {
+		t.Fatalf("marshalling outcomes: %v", err)
+	}
+	return fmt.Sprintf("%x", sha256.Sum256(b))
+}
+
+// TestCryptoCachedMatchesUncached holds invariant 1: for every seed the
+// cached ECDSA run equals the uncached reference run, and the stream of
+// cached outcomes matches the pinned golden hash.
+func TestCryptoCachedMatchesUncached(t *testing.T) {
+	outcomes := make([]metrics.Outcome, 0, cryptoDiffSeeds)
+	for seed := int64(1); seed <= cryptoDiffSeeds; seed++ {
+		cached := cryptoDiffConfig(seed)
+		want, err := Run(cached)
+		if err != nil {
+			t.Fatalf("seed %d cached: %v", seed, err)
+		}
+		reference := cryptoDiffConfig(seed)
+		reference.NoVerifyCache = true
+		got, err := Run(reference)
+		if err != nil {
+			t.Fatalf("seed %d uncached: %v", seed, err)
+		}
+		if got != want {
+			t.Errorf("seed %d: uncached reference diverged from cached run:\n got  %+v\n want %+v", seed, got, want)
+		}
+		outcomes = append(outcomes, want)
+	}
+	if got := cryptoStreamHash(t, outcomes); got != cryptoECDSAGoldenHash {
+		t.Errorf("cached ECDSA outcome stream drifted:\n got  %s\n want %s", got, cryptoECDSAGoldenHash)
+	}
+}
+
+// TestCryptoSessionGoldenStream holds invariant 2: session-token runs are a
+// pinned deterministic stream, and that stream coincides with the ECDSA one
+// because both schemes occupy identical fixed-width signature frames and
+// draw the same "crypto" RNG split.
+func TestCryptoSessionGoldenStream(t *testing.T) {
+	outcomes := make([]metrics.Outcome, 0, cryptoDiffSeeds)
+	for seed := int64(1); seed <= cryptoDiffSeeds; seed++ {
+		cfg := cryptoDiffConfig(seed)
+		cfg.CryptoScheme = SchemeSession
+		out, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		outcomes = append(outcomes, out)
+	}
+	if got := cryptoStreamHash(t, outcomes); got != cryptoSessionGoldenHash {
+		t.Errorf("session-token outcome stream drifted:\n got  %s\n want %s", got, cryptoSessionGoldenHash)
+	}
+	// Replay determinism: the session store (epoch anchors, HMAC keys) must
+	// leave no residue between runs.
+	cfg := cryptoDiffConfig(7)
+	cfg.CryptoScheme = SchemeSession
+	first, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != again {
+		t.Errorf("session-token replay diverged:\n got  %+v\n want %+v", again, first)
+	}
+}
+
+// cryptoVerdict is the scheme-independent slice of an outcome: what the
+// protocol decided, not how many bytes the air carried while deciding it.
+type cryptoVerdict struct {
+	AttackersDetected int
+	Detected          bool
+	TeammateDetected  bool
+	Prevented         bool
+	FalseAccusations  int
+	DetectionPackets  int
+	IsolationPackets  int
+	DataSent          int
+	DataDelivered     int
+}
+
+func verdictOf(o metrics.Outcome) cryptoVerdict {
+	return cryptoVerdict{
+		AttackersDetected: o.AttackersDetected,
+		Detected:          o.Detected,
+		TeammateDetected:  o.TeammateDetected,
+		Prevented:         o.Prevented,
+		FalseAccusations:  o.FalseAccusations,
+		DetectionPackets:  o.DetectionPackets,
+		IsolationPackets:  o.IsolationPackets,
+		DataSent:          o.DataSent,
+		DataDelivered:     o.DataDelivered,
+	}
+}
+
+// TestCryptoSchemeVerdictParity holds invariant 3: blacklist and verdict
+// behaviour is identical under every scheme across 20 seeds.
+func TestCryptoSchemeVerdictParity(t *testing.T) {
+	for seed := int64(1); seed <= cryptoDiffSeeds; seed++ {
+		base := cryptoDiffConfig(seed)
+		base.CryptoScheme = SchemeECDSA
+		ref, err := Run(base)
+		if err != nil {
+			t.Fatalf("seed %d ecdsa: %v", seed, err)
+		}
+		want := verdictOf(ref)
+		for _, scheme := range []string{SchemeSession, SchemePlaceholder} {
+			cfg := cryptoDiffConfig(seed)
+			cfg.CryptoScheme = scheme
+			cfg.RealCrypto = scheme != SchemePlaceholder
+			out, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, scheme, err)
+			}
+			if got := verdictOf(out); got != want {
+				t.Errorf("seed %d: scheme %s verdict diverged from ecdsa:\n got  %+v\n want %+v", seed, scheme, got, want)
+			}
+		}
+	}
+}
+
+// TestCryptoShardedDeterminism extends the RunWorkers wall to real crypto,
+// now that the Validate gate is lifted: sharded ECDSA and session-token runs
+// must be deterministic and worker-count independent (per-agent verifier
+// caches, per-shard signing streams). Run with -race.
+func TestCryptoShardedDeterminism(t *testing.T) {
+	for _, scheme := range []string{SchemeECDSA, SchemeSession} {
+		for seed := int64(1); seed <= 5; seed++ {
+			base := cryptoDiffConfig(seed)
+			base.CryptoScheme = scheme
+			base.RunWorkers = 2
+			want, err := Run(base)
+			if err != nil {
+				t.Fatalf("%s seed %d workers=2: %v", scheme, seed, err)
+			}
+			cfg := cryptoDiffConfig(seed)
+			cfg.CryptoScheme = scheme
+			cfg.RunWorkers = 4
+			got, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("%s seed %d workers=4: %v", scheme, seed, err)
+			}
+			if got != want {
+				t.Errorf("%s seed %d: workers=4 diverged from workers=2:\n got  %+v\n want %+v", scheme, seed, got, want)
+			}
+			again, err := Run(base)
+			if err != nil {
+				t.Fatalf("%s seed %d replay: %v", scheme, seed, err)
+			}
+			if again != want {
+				t.Errorf("%s seed %d: sharded replay diverged:\n got  %+v\n want %+v", scheme, seed, again, want)
+			}
+		}
+	}
+}
+
+// TestCryptoFingerprint pins the cache-key semantics of the new knobs: the
+// scheme is part of a run's identity, the verification cache is not, and the
+// legacy RealCrypto boolean collapses onto the explicit scheme names.
+func TestCryptoFingerprint(t *testing.T) {
+	fp := func(mutate func(*Config)) string {
+		cfg := cryptoDiffConfig(1)
+		mutate(&cfg)
+		s, err := Fingerprint(cfg)
+		if err != nil {
+			t.Fatalf("fingerprint: %v", err)
+		}
+		return s
+	}
+	ecdsa := fp(func(c *Config) { c.CryptoScheme = SchemeECDSA })
+	session := fp(func(c *Config) { c.CryptoScheme = SchemeSession })
+	placeholder := fp(func(c *Config) { c.CryptoScheme = SchemePlaceholder; c.RealCrypto = false })
+
+	if ecdsa == session || ecdsa == placeholder || session == placeholder {
+		t.Errorf("scheme classes must have distinct fingerprints: ecdsa=%s session=%s placeholder=%s", ecdsa, session, placeholder)
+	}
+	if got := fp(func(c *Config) { c.RealCrypto = true }); got != ecdsa {
+		t.Error("legacy RealCrypto=true should share the ecdsa fingerprint")
+	}
+	if got := fp(func(c *Config) { c.RealCrypto = false }); got != placeholder {
+		t.Error("legacy RealCrypto=false should share the placeholder fingerprint")
+	}
+	if got := fp(func(c *Config) { c.CryptoScheme = SchemeECDSA; c.NoVerifyCache = true }); got != ecdsa {
+		t.Error("NoVerifyCache is byte-invisible and must not change the fingerprint")
+	}
+	if got := fp(func(c *Config) { c.CryptoScheme = SchemeSession; c.NoVerifyCache = true }); got != session {
+		t.Error("NoVerifyCache must not change the session fingerprint")
+	}
+}

@@ -140,9 +140,9 @@ func TestRunWorkersValidation(t *testing.T) {
 		mutate func(*Config)
 		want   string
 	}{
-		{"real crypto", func(c *Config) { c.RealCrypto = true }, "RealCrypto"},
 		{"trace", func(c *Config) { c.Trace = true }, "Trace"},
 		{"linear scan", func(c *Config) { c.LinearScan = true }, "spatial index"},
+		{"unknown scheme", func(c *Config) { c.CryptoScheme = "rot13" }, "crypto scheme"},
 	}
 	for _, tc := range cases {
 		cfg := shardedConfig(1)
@@ -153,10 +153,18 @@ func TestRunWorkersValidation(t *testing.T) {
 			t.Errorf("%s: Validate() = %v, want error mentioning %q", tc.name, err, tc.want)
 		}
 	}
-	ok := shardedConfig(1)
-	ok.RunWorkers = 4
-	if err := ok.Validate(); err != nil {
-		t.Errorf("eligible sharded config rejected: %v", err)
+	// Real crypto is no longer gated: verification state is per-agent and
+	// signing randomness per-shard, so every scheme shards cleanly.
+	for _, scheme := range []string{"", SchemeECDSA, SchemeSession, SchemePlaceholder} {
+		ok := shardedConfig(1)
+		ok.RunWorkers = 4
+		ok.CryptoScheme = scheme
+		if scheme != "" {
+			ok.RealCrypto = scheme != SchemePlaceholder
+		}
+		if err := ok.Validate(); err != nil {
+			t.Errorf("sharded config with scheme %q rejected: %v", scheme, err)
+		}
 	}
 }
 

@@ -78,6 +78,9 @@ type World struct {
 	shard   *sim.Sharded
 	ports   []*radio.Shard
 	fillers bool
+	// shardSchemes are the per-shard ECDSA signing streams of a sharded
+	// real-crypto run, indexed like ports; nil otherwise.
+	shardSchemes []pki.Scheme
 }
 
 // Hostile bundles one extra attacker with its interceptor and the pseudonym
@@ -170,8 +173,14 @@ func buildPooled(cfg Config, pool *sim.EventPool) (*World, error) {
 	}
 
 	var scheme pki.Scheme = pki.Insecure{}
-	if cfg.RealCrypto {
+	switch cfg.SchemeName() {
+	case SchemeECDSA:
 		scheme = pki.ECDSA{Rand: rng.Split("crypto").Reader()}
+	case SchemeSession:
+		// One shared instance models the epoch key-agreement channel; it
+		// is mutex-guarded, and no anchor nonce reaches the wire, so both
+		// serial and sharded outcomes stay deterministic.
+		scheme = pki.NewSessionToken(rng.Split("crypto").Reader())
 	}
 	var tracer *trace.Recorder
 	if cfg.Trace {
@@ -209,6 +218,18 @@ func buildPooled(cfg Config, pool *sim.EventPool) (*World, error) {
 		// ahead is safe — see Medium.RefreshIndex).
 		shard.OnWindow(func(_, we time.Duration) { medium.RefreshIndex(we) })
 	}
+	var shardSchemes []pki.Scheme
+	if shard != nil && cfg.SchemeName() == SchemeECDSA {
+		// ECDSA signing draws nonce randomness per signature, so strip
+		// shards each get their own signing stream — agents on one shard
+		// sign serially, and the draw sequence per shard is a pure function
+		// of the sim, keeping sharded real-crypto runs worker-count
+		// independent. These splits exist only in the sharded+ECDSA mode
+		// (previously rejected by Validate), so no historical stream moves.
+		for i := 0; i < shard.Shards(); i++ {
+			shardSchemes = append(shardSchemes, pki.ECDSA{Rand: rng.Split(fmt.Sprintf("crypto-shard-%d", i)).Reader()})
+		}
+	}
 	env := core.Env{
 		Sched:    sched,
 		RNG:      coreRNG,
@@ -220,23 +241,26 @@ func buildPooled(cfg Config, pool *sim.EventPool) (*World, error) {
 		Backbone: radio.NewBackbone(sched, cfg.BackboneLatency),
 		Tracer:   tracer,
 		Tally:    core.NewTally(),
+
+		NoVerifyCache: cfg.NoVerifyCache,
 	}
 	if shard != nil {
 		env.Port = ports[0]
 	}
 	w := &World{
-		Cfg:         cfg,
-		Env:         env,
-		Sched:       sched,
-		Topo:        topo,
-		Highway:     highway,
-		mesh:        mesh,
-		Heads:       make(map[wire.ClusterID]*core.HeadAgent),
-		attackerIDs: make(map[wire.NodeID]bool),
-		teammateIDs: make(map[wire.NodeID]bool),
-		rng:         rng,
-		shard:       shard,
-		ports:       ports,
+		Cfg:          cfg,
+		Env:          env,
+		Sched:        sched,
+		Topo:         topo,
+		Highway:      highway,
+		mesh:         mesh,
+		Heads:        make(map[wire.ClusterID]*core.HeadAgent),
+		attackerIDs:  make(map[wire.NodeID]bool),
+		teammateIDs:  make(map[wire.NodeID]bool),
+		rng:          rng,
+		shard:        shard,
+		ports:        ports,
+		shardSchemes: shardSchemes,
 	}
 	if mesh != nil {
 		// Mesh clusters have more than two neighbors; the directory's
@@ -511,6 +535,10 @@ func (w *World) vehicleEnv(cid wire.ClusterID) core.Env {
 	}
 	env.Sched = w.shard.Shard(strip)
 	env.Port = w.ports[strip]
+	if w.shardSchemes != nil {
+		// Strip-homed agents sign on their shard's own nonce stream.
+		env.Scheme = w.shardSchemes[strip]
+	}
 	return env
 }
 

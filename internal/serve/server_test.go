@@ -478,3 +478,30 @@ func TestErrorEnvelope(t *testing.T) {
 		}
 	})
 }
+
+// TestCryptoSchemeSeparatesCacheEntries pins the fingerprint semantics of
+// the crypto knobs at the HTTP layer: scheme classes never share a cache
+// entry, the legacy RealCrypto boolean collapses onto its scheme name, and
+// the byte-invisible verification-cache toggle never splits one.
+func TestCryptoSchemeSeparatesCacheEntries(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := func(extra string) string {
+		return fmt.Sprintf(`{"kind":"run","config":{"Seed":5,"HighwayLengthM":4000,"Vehicles":30,"AttackerCluster":2,"DataPackets":5,"MaxSimTime":45000000000,%s}}`, extra)
+	}
+
+	if _, cache, _ := post(t, ts, body(`"CryptoScheme":"ecdsa"`)); cache != "miss" {
+		t.Fatalf("ecdsa first post: cache %q, want miss", cache)
+	}
+	if _, cache, _ := post(t, ts, body(`"CryptoScheme":"session"`)); cache != "miss" {
+		t.Fatalf("session must not share the ecdsa entry: cache %q", cache)
+	}
+	if _, cache, _ := post(t, ts, body(`"RealCrypto":true`)); cache != "hit" {
+		t.Fatalf("RealCrypto:true should hit the ecdsa entry: cache %q", cache)
+	}
+	if _, cache, _ := post(t, ts, body(`"CryptoScheme":"ecdsa","NoVerifyCache":true`)); cache != "hit" {
+		t.Fatalf("NoVerifyCache is byte-invisible and should hit: cache %q", cache)
+	}
+}

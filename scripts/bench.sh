@@ -1,7 +1,7 @@
 #!/bin/sh
 # Run the benchmark suites and write BENCH_serve.json (service path) and
-# BENCH_core.json (scheduler, radio, codec, sweep engine, metro scaling
-# curve) in one shared schema: one object per benchmark with ns/op, B/op and
+# BENCH_core.json (scheduler, radio, codec, crypto, sweep engine, metro
+# scaling curve) in one shared schema: one object per benchmark with ns/op, B/op and
 # allocs/op, so regressions diff cleanly in review. Each micro-benchmark runs
 # count times and the median run by ns/op is kept, so one noisy run cannot
 # skew the committed numbers.
@@ -76,7 +76,7 @@ serve_raw="$(go test ./internal/serve -run '^$' -bench . -benchtime "$benchtime"
 echo "$serve_raw"
 write_file BENCH_serve.json "$(echo "$serve_raw" | entries)"
 
-core_raw="$(go test ./internal/sim ./internal/radio ./internal/wire ./internal/exp \
+core_raw="$(go test ./internal/sim ./internal/radio ./internal/wire ./internal/exp ./internal/pki \
 	-run '^$' -bench . -benchtime "$benchtime" -benchmem -count="$count")"
 echo "$core_raw"
 core_entries="$(echo "$core_raw" | entries)"
