@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench profile serve
+.PHONY: build test race bench profile serve testnet
 
 build:
 	$(GO) build ./...
@@ -11,10 +11,15 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Benchmark suites; refreshes the committed BENCH_serve.json and
-# BENCH_core.json baselines (median of 5 runs).
+# Benchmark suites; refreshes the committed BENCH_serve.json,
+# BENCH_dist.json and BENCH_core.json baselines (median of 5 runs).
 bench:
 	sh scripts/bench.sh
+
+# Localhost sweep fabric: 3 worker processes + coordinator, kill one
+# mid-sweep, assert byte-equality with a fleetless baseline.
+testnet:
+	sh scripts/testnet.sh
 
 # CPU + heap profiles of a live sweep via blackdp-serve -pprof.
 profile:

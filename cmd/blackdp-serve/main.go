@@ -23,9 +23,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"blackdp/internal/dist"
 	"blackdp/internal/serve"
 )
 
@@ -46,16 +48,27 @@ func run() error {
 		maxReps = flag.Int("max-reps", 0, "largest accepted sweep (0 = default)")
 		grace   = flag.Duration("grace", 30*time.Second, "drain deadline after SIGTERM")
 		pprofOn = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profiling only; do not enable on untrusted networks)")
+		fleet   = flag.String("fleet", "", "comma-separated blackdp-worker base URLs; sweeps shard across them (empty = local execution)")
+		chunk   = flag.Int("chunk-reps", 0, "replications per dispatched fleet chunk (0 = default)")
 	)
 	flag.Parse()
 
-	s := serve.New(serve.Config{
+	cfg := serve.Config{
 		Workers:      *workers,
 		QueueDepth:   *queue,
 		CacheEntries: *cache,
 		SweepWorkers: *pool,
 		MaxReps:      *maxReps,
-	})
+	}
+	if *fleet != "" {
+		urls := strings.Split(*fleet, ",")
+		coord := dist.New(dist.Config{Workers: urls, ChunkReps: *chunk})
+		coord.Start()
+		defer coord.Stop()
+		cfg.Distributor = coord
+		fmt.Printf("blackdp-serve fleet: %d workers configured\n", len(urls))
+	}
+	s := serve.New(cfg)
 	if *pprofOn {
 		// Profiling rides on the service port so scripts/profile.sh can
 		// capture CPU and heap profiles of a live sweep without a second

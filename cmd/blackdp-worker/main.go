@@ -1,0 +1,90 @@
+// Command blackdp-worker is one node of the distributed sweep fabric: it
+// executes replication-range chunks dispatched by a blackdp-serve
+// coordinator (-fleet) over the POST /v1/chunks API and streams progress
+// back as NDJSON. Chunk results are cached by canonical fingerprint with
+// single-flight coalescing, so identical sub-jobs are computed at most
+// once per node.
+//
+//	blackdp-worker -addr 127.0.0.1:9101
+//	blackdp-serve  -addr 127.0.0.1:8080 -fleet http://127.0.0.1:9101,http://127.0.0.1:9102
+//
+// On SIGTERM or SIGINT the worker drains: new chunks are refused with 503
+// (the coordinator reassigns them) while in-flight chunks finish, then the
+// cache statistics are logged and the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"blackdp/internal/dist"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "blackdp-worker:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:9101", "listen address (use :0 for an ephemeral port)")
+		slots   = flag.Int("slots", 0, "concurrent chunks (0 = default)")
+		pool    = flag.Int("sweep-workers", 0, "per-chunk replication pool size (0 = one per CPU)")
+		maxReps = flag.Int("max-chunk-reps", 0, "largest accepted chunk (0 = default)")
+		cache   = flag.Int("cache", 0, "chunk cache entries (0 = default)")
+		grace   = flag.Duration("grace", 30*time.Second, "drain deadline after SIGTERM")
+	)
+	flag.Parse()
+
+	w := dist.NewWorker(dist.WorkerConfig{
+		Slots:        *slots,
+		SweepWorkers: *pool,
+		MaxChunkReps: *maxReps,
+		CacheEntries: *cache,
+	})
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// The resolved address line is the startup handshake: the testnet
+	// harness (and any supervisor) parses it to learn the ephemeral port.
+	fmt.Printf("blackdp-worker listening on %s\n", l.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- w.Serve(l) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("blackdp-worker draining: refusing new chunks, finishing in-flight")
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	stats, err := w.Drain(drainCtx)
+	fmt.Printf("blackdp-worker cache: %d hits, %d coalesced, %d misses, %d entries retained\n",
+		stats.Hits, stats.Joins, stats.Misses, stats.Entries)
+	if err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if serr := <-errc; serr != nil && !errors.Is(serr, http.ErrServerClosed) {
+		return serr
+	}
+	fmt.Println("blackdp-worker drained cleanly")
+	return nil
+}

@@ -1,0 +1,502 @@
+package dist
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"blackdp/internal/scenario"
+	"blackdp/internal/serve"
+)
+
+// fastCfg is the calibrated small world every fabric test sweeps: a few
+// milliseconds per replication, so 20-seed differentials stay cheap even
+// under -race.
+func fastCfg(seed int64) scenario.Config {
+	return scenario.Config{
+		Seed:            seed,
+		HighwayLengthM:  3000,
+		Vehicles:        20,
+		AttackerCluster: 2,
+		DataPackets:     3,
+		MaxSimTime:      30 * time.Second,
+	}
+}
+
+// fleet is an in-process testnet: n real Workers behind httptest servers
+// plus a coordinator pointed at them.
+type fleet struct {
+	coord   *Coordinator
+	workers []*Worker
+	servers []*httptest.Server
+}
+
+func newFleet(t testing.TB, n int, cfg Config) *fleet {
+	t.Helper()
+	f := &fleet{}
+	for i := 0; i < n; i++ {
+		w := NewWorker(WorkerConfig{Slots: 4})
+		srv := httptest.NewServer(w.Handler())
+		t.Cleanup(srv.Close)
+		f.workers = append(f.workers, w)
+		f.servers = append(f.servers, srv)
+		cfg.Workers = append(cfg.Workers, srv.URL)
+	}
+	if cfg.ChunkReps == 0 {
+		cfg.ChunkReps = 3
+	}
+	if cfg.HealthInterval == 0 {
+		cfg.HealthInterval = 50 * time.Millisecond
+	}
+	if cfg.FleetGrace == 0 {
+		cfg.FleetGrace = 10 * time.Second
+	}
+	f.coord = New(cfg)
+	f.coord.Start()
+	t.Cleanup(f.coord.Stop)
+	return f
+}
+
+func chunkBody(t testing.TB, cfg scenario.Config, start, count int) []byte {
+	t.Helper()
+	canon, err := scenario.Canonical(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(chunkRequest{Config: canon, Start: start, Count: count})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// postChunk posts one chunk to a worker handler and returns the HTTP
+// status, the parsed stream lines and the final payload line (if any).
+func postChunk(t *testing.T, h http.Handler, body []byte) (int, []chunkLine, []byte, http.Header) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/chunks", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var lines []chunkLine
+	var payload []byte
+	sc := bufio.NewScanner(rec.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 64<<20)
+	payloadNext := false
+	for sc.Scan() {
+		if payloadNext {
+			payload = append([]byte(nil), sc.Bytes()...)
+			payloadNext = false
+			continue
+		}
+		var line chunkLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, line)
+		if line.Type == "result" {
+			payloadNext = true
+		}
+	}
+	return rec.Code, lines, payload, rec.Result().Header
+}
+
+func TestWorkerExecutesChunkAndCachesIt(t *testing.T) {
+	w := NewWorker(WorkerConfig{})
+	body := chunkBody(t, fastCfg(1), 2, 3)
+
+	code, lines, payload, hdr := postChunk(t, w.Handler(), body)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if hdr.Get("X-Blackdp-Cache") != "miss" {
+		t.Errorf("first chunk cache header = %q, want miss", hdr.Get("X-Blackdp-Cache"))
+	}
+	outs, err := decodeChunk(payload, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The worker ran global replications [2,5): byte-for-byte what a local
+	// range run produces, and the progress lines carry global indexes.
+	want, err := scenario.RunSweepRange(context.Background(), fastCfg(1), 2, 3, scenario.SweepOptions{Workers: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(outs, want) {
+		t.Error("worker chunk outcomes diverge from local RunSweepRange")
+	}
+	seen := map[int]bool{}
+	for _, line := range lines {
+		if line.Type == "progress" {
+			seen[line.Rep] = true
+		}
+	}
+	for rep := 2; rep < 5; rep++ {
+		if !seen[rep] {
+			t.Errorf("no progress line for global rep %d (saw %v)", rep, seen)
+		}
+	}
+
+	// Same sub-job again: answered from the chunk cache, payload verbatim.
+	code, _, payload2, hdr := postChunk(t, w.Handler(), body)
+	if code != http.StatusOK || hdr.Get("X-Blackdp-Cache") != "hit" {
+		t.Fatalf("second chunk: status %d cache %q, want 200 hit", code, hdr.Get("X-Blackdp-Cache"))
+	}
+	if !bytes.Equal(payload, payload2) {
+		t.Error("cached chunk payload is not byte-identical")
+	}
+	if st := w.cache.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("cache stats = %+v, want 1 hit 1 miss", st)
+	}
+}
+
+func TestWorkerRejectsBadChunks(t *testing.T) {
+	w := NewWorker(WorkerConfig{MaxChunkReps: 4})
+	for name, body := range map[string][]byte{
+		"negative start": chunkBody(t, fastCfg(1), -1, 2),
+		"zero count":     chunkBody(t, fastCfg(1), 0, 0),
+		"oversize chunk": chunkBody(t, fastCfg(1), 0, 5),
+		"not json":       []byte("nope"),
+	} {
+		code, _, _, _ := postChunk(t, w.Handler(), body)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, code)
+		}
+	}
+}
+
+// TestWorkerSlotsFullEnvelope pins the satellite contract: a saturated
+// worker answers 429 with the typed JSON envelope and a usable
+// retry_after_seconds, and the refusal is counted.
+func TestWorkerSlotsFullEnvelope(t *testing.T) {
+	w := NewWorker(WorkerConfig{Slots: 1, RetryAfter: 2 * time.Second})
+	w.slots <- struct{}{} // occupy the only slot
+
+	req := httptest.NewRequest(http.MethodPost, "/v1/chunks", bytes.NewReader(chunkBody(t, fastCfg(1), 0, 1)))
+	rec := httptest.NewRecorder()
+	w.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", rec.Code)
+	}
+	var env serve.APIError
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatalf("not an envelope: %v\n%s", err, rec.Body.Bytes())
+	}
+	if env.Code != "chunk_slots_full" || env.RetryAfterSeconds != 2 {
+		t.Errorf("envelope = %+v, want chunk_slots_full with retry_after_seconds=2", env)
+	}
+	<-w.slots
+	// The aborted single-flight entry must not wedge the key: the next
+	// identical chunk gets a slot and executes.
+	if code, _, _, _ := postChunk(t, w.Handler(), chunkBody(t, fastCfg(1), 0, 1)); code != http.StatusOK {
+		t.Fatalf("chunk after slot release: status %d, want 200", code)
+	}
+}
+
+func TestWorkerDrainRefusesWithEnvelope(t *testing.T) {
+	w := NewWorker(WorkerConfig{})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if _, err := w.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/chunks", bytes.NewReader(chunkBody(t, fastCfg(1), 0, 1)))
+	rec := httptest.NewRecorder()
+	w.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", rec.Code)
+	}
+	var env serve.APIError
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil || env.Code != "draining" || env.RetryAfterSeconds < 1 {
+		t.Errorf("draining envelope = %+v (err %v), want code=draining with a retry hint", env, err)
+	}
+	// And healthz flips so the coordinator stops routing here.
+	hreq := httptest.NewRequest(http.MethodGet, "/v1/healthz", nil)
+	hrec := httptest.NewRecorder()
+	w.Handler().ServeHTTP(hrec, hreq)
+	if !strings.Contains(hrec.Body.String(), `"draining"`) {
+		t.Errorf("healthz while draining: %s", hrec.Body.String())
+	}
+}
+
+func TestChunkKeyIsCanonical(t *testing.T) {
+	// The wire round trip must be key-stable: the coordinator keys a chunk
+	// by cfg, ships Canonical(cfg), and the worker keys what it decodes —
+	// both sides must land on the same key or caches never share.
+	cfg := fastCfg(9)
+	canon, err := scenario.Canonical(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := scenario.DecodeConfig(canon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, err := ChunkKey(cfg, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := ChunkKey(decoded, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Errorf("coordinator and worker disagree on the chunk key:\n%s\n%s", k1, k2)
+	}
+	if !strings.HasPrefix(k1, "chunk/8+4/") {
+		t.Errorf("key %q does not encode its range", k1)
+	}
+	k3, _ := ChunkKey(cfg, 12, 4)
+	if k1 == k3 {
+		t.Error("different ranges share a chunk key")
+	}
+}
+
+func TestCoordinatorSweepMatchesLocal(t *testing.T) {
+	f := newFleet(t, 2, Config{ChunkReps: 3})
+	cfg := fastCfg(5)
+	const reps = 8
+
+	var mu []int
+	var muErr int
+	outs, err := f.coord.Sweep(context.Background(), cfg, reps, func(rep int, err error) {
+		mu = append(mu, rep)
+		if err != nil {
+			muErr++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := scenario.RunSweep(context.Background(), cfg, reps, scenario.SweepOptions{Workers: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(outs, want) {
+		t.Error("distributed outcomes diverge from single-node RunSweep")
+	}
+	if len(mu) != reps || muErr != 0 {
+		t.Errorf("onRep fired %d times (%d errors), want %d/0: %v", len(mu), muErr, reps, mu)
+	}
+	if got := f.coord.remoteReps.Load(); got != reps {
+		t.Errorf("remote reps counter = %d, want %d", got, reps)
+	}
+}
+
+// TestCoordinatorSharesChunksAcrossJobs proves the cross-job cache: a
+// second, longer sweep of the same config reuses the first sweep's chunks
+// instead of recomputing them.
+func TestCoordinatorSharesChunksAcrossJobs(t *testing.T) {
+	f := newFleet(t, 2, Config{ChunkReps: 4})
+	cfg := fastCfg(11)
+	ctx := context.Background()
+
+	first, err := f.coord.Sweep(ctx, cfg, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := f.coord.Sweep(ctx, cfg, 16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(second[:8], first) {
+		t.Error("overlapping sweeps disagree on the shared prefix")
+	}
+	if shared := f.coord.cacheShared.Load(); shared < 2 {
+		t.Errorf("chunk cache shared %d chunks, want >= 2 (the first sweep's two chunks)", shared)
+	}
+	want, err := scenario.RunSweep(ctx, cfg, 16, scenario.SweepOptions{Workers: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(second, want) {
+		t.Error("cache-merged sweep diverges from single-node RunSweep")
+	}
+}
+
+// TestCoordinatorHonorsBackpressure routes chunks through a proxy that
+// answers 429 (typed envelope, retry hint) twice before forwarding, and
+// requires the retry loop to absorb the refusals without failing the sweep
+// or burning the hard-failure budget.
+func TestCoordinatorHonorsBackpressure(t *testing.T) {
+	w := NewWorker(WorkerConfig{Slots: 4})
+	backend := httptest.NewServer(w.Handler())
+	t.Cleanup(backend.Close)
+
+	var refusals atomic.Int64
+	proxy := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/chunks") && refusals.Add(1) <= 2 {
+			// retry_after_seconds deliberately 0: the coordinator must fall
+			// back to its own pacing rather than treating 0 as "never".
+			rw.Header().Set("Content-Type", "application/json")
+			rw.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(rw, `{"code":"chunk_slots_full","message":"busy","retry_after_seconds":0}`)
+			return
+		}
+		r2 := r.Clone(r.Context())
+		r2.RequestURI = ""
+		u := *r.URL
+		u.Scheme = "http"
+		u.Host = strings.TrimPrefix(backend.URL, "http://")
+		r2.URL = &u
+		resp, err := http.DefaultTransport.RoundTrip(r2)
+		if err != nil {
+			rw.WriteHeader(http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		for k, vs := range resp.Header {
+			for _, v := range vs {
+				rw.Header().Add(k, v)
+			}
+		}
+		rw.WriteHeader(resp.StatusCode)
+		buf := make([]byte, 32<<10)
+		for {
+			n, rerr := resp.Body.Read(buf)
+			if n > 0 {
+				if _, werr := rw.Write(buf[:n]); werr != nil {
+					return
+				}
+				if f, ok := rw.(http.Flusher); ok {
+					f.Flush()
+				}
+			}
+			if rerr != nil {
+				return
+			}
+		}
+	}))
+	t.Cleanup(proxy.Close)
+
+	coord := New(Config{Workers: []string{proxy.URL}, ChunkReps: 4, HealthInterval: 50 * time.Millisecond})
+	t.Cleanup(coord.Stop)
+	cfg := fastCfg(3)
+	outs, err := coord.Sweep(context.Background(), cfg, 4, nil)
+	if err != nil {
+		t.Fatalf("sweep failed despite backpressure being retryable: %v", err)
+	}
+	want, _ := scenario.RunSweep(context.Background(), cfg, 4, scenario.SweepOptions{Workers: 1}, nil)
+	if !reflect.DeepEqual(outs, want) {
+		t.Error("outcomes diverge after backpressure retries")
+	}
+	if got := coord.chunksRetried.Load(); got < 2 {
+		t.Errorf("chunks retried = %d, want >= 2 (the two 429s)", got)
+	}
+}
+
+// TestCoordinatorSurfacesWorkerEnvelope pins the other half of the
+// satellite: when the backpressure budget runs out, the worker's typed
+// envelope — code and retry hint included — appears in the sweep error
+// instead of being swallowed.
+func TestCoordinatorSurfacesWorkerEnvelope(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/healthz") {
+			fmt.Fprint(rw, `{"status":"ok"}`)
+			return
+		}
+		rw.Header().Set("Content-Type", "application/json")
+		rw.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprint(rw, `{"code":"chunk_slots_full","message":"every chunk slot is busy","retry_after_seconds":0}`)
+	}))
+	t.Cleanup(srv.Close)
+
+	coord := New(Config{Workers: []string{srv.URL}, ChunkReps: 4, BackpressureRetries: 1, HealthInterval: 50 * time.Millisecond})
+	t.Cleanup(coord.Stop)
+	_, err := coord.Sweep(context.Background(), fastCfg(1), 4, nil)
+	if err == nil {
+		t.Fatal("sweep succeeded against an always-429 worker")
+	}
+	var we *WorkerError
+	if !errors.As(err, &we) {
+		t.Fatalf("error does not carry the worker envelope: %v", err)
+	}
+	if we.Code != "chunk_slots_full" || we.Status != http.StatusTooManyRequests {
+		t.Errorf("surfaced envelope = %+v", we)
+	}
+	if !strings.Contains(err.Error(), "chunk_slots_full") {
+		t.Errorf("error text hides the envelope code: %v", err)
+	}
+}
+
+func TestCoordinatorNoWorkersIsTyped(t *testing.T) {
+	// Empty fleet.
+	empty := New(Config{})
+	t.Cleanup(empty.Stop)
+	if _, err := empty.Sweep(context.Background(), fastCfg(1), 4, nil); !errors.Is(err, serve.ErrNoWorkers) {
+		t.Errorf("empty fleet error = %v, want ErrNoWorkers", err)
+	}
+	// Configured but unreachable fleet: the on-demand probe fails and the
+	// typed sentinel tells the serve layer to fall back to local execution.
+	dead := New(Config{Workers: []string{"http://127.0.0.1:1"}, HealthInterval: 50 * time.Millisecond})
+	t.Cleanup(dead.Stop)
+	if _, err := dead.Sweep(context.Background(), fastCfg(1), 4, nil); !errors.Is(err, serve.ErrNoWorkers) {
+		t.Errorf("dead fleet error = %v, want ErrNoWorkers", err)
+	}
+}
+
+func TestWorkerMetricsRender(t *testing.T) {
+	w := NewWorker(WorkerConfig{})
+	if code, _, _, _ := postChunk(t, w.Handler(), chunkBody(t, fastCfg(2), 0, 2)); code != http.StatusOK {
+		t.Fatalf("chunk status %d", code)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/v1/metrics", nil)
+	rec := httptest.NewRecorder()
+	w.Handler().ServeHTTP(rec, req)
+	out := rec.Body.String()
+	for _, want := range []string{
+		`blackdp_dist_worker_chunks_total{status="done"} 1`,
+		"blackdp_dist_worker_reps_completed_total 2",
+		"blackdp_dist_worker_cache_misses_total 1",
+		"blackdp_dist_worker_chunks_running 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("worker metrics missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestServeExposesFabricMetrics wires a coordinator into a serve.Server and
+// requires the fabric gauges to appear on the service /metrics page.
+func TestServeExposesFabricMetrics(t *testing.T) {
+	f := newFleet(t, 2, Config{})
+	s := serve.New(serve.Config{Distributor: f.coord})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	// Give the health loop a beat so the live gauge is 2, then scrape.
+	deadline := time.Now().Add(2 * time.Second)
+	for f.coord.LiveWorkers() != 2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"blackdp_dist_workers_known 2",
+		"blackdp_dist_workers_live 2",
+		"blackdp_dist_chunks_dispatched_total",
+		"blackdp_dist_chunks_retried_total",
+		"blackdp_dist_chunk_cache_shared_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("service metrics missing %q", want)
+		}
+	}
+}

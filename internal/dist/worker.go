@@ -1,0 +1,336 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"blackdp/internal/scenario"
+	"blackdp/internal/serve"
+)
+
+// WorkerConfig tunes one worker node.
+type WorkerConfig struct {
+	// Slots is how many chunks execute concurrently (default 2). Each
+	// chunk additionally fans its replications across a scenario sweep
+	// pool, so total parallelism is Slots x SweepWorkers.
+	Slots int
+	// SweepWorkers is the per-chunk replication pool (0 = one per CPU); a
+	// chunk request's "workers" field overrides it.
+	SweepWorkers int
+	// MaxChunkReps caps a single chunk request (default 10000).
+	MaxChunkReps int
+	// CacheEntries bounds the chunk result cache (default 256).
+	CacheEntries int
+	// RetryAfter is advertised on 429/503 responses (default 1s).
+	RetryAfter time.Duration
+}
+
+func (c WorkerConfig) withDefaults() WorkerConfig {
+	if c.Slots <= 0 {
+		c.Slots = 2
+	}
+	if c.MaxChunkReps <= 0 {
+		c.MaxChunkReps = 10_000
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 256
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Worker is one node of the sweep fleet: a bounded pool of chunk slots
+// behind the POST /v1/chunks API, with a single-flight chunk cache so the
+// same sub-job is computed at most once per node no matter how many
+// coordinators ask. Create with NewWorker, expose with Handler or Serve,
+// stop with Drain.
+type Worker struct {
+	cfg   WorkerConfig
+	cache *serve.Cache
+	reg   *serve.Registry
+	mux   *http.ServeMux
+	http  *http.Server
+
+	slots    chan struct{}
+	running  atomic.Int64
+	draining atomic.Bool
+
+	mChunks   *serve.CounterVec
+	mRejected *serve.Counter
+	mReps     *serve.Counter
+}
+
+// NewWorker builds a worker with cfg (zero fields take defaults).
+func NewWorker(cfg WorkerConfig) *Worker {
+	cfg = cfg.withDefaults()
+	w := &Worker{
+		cfg:   cfg,
+		cache: serve.NewCache(cfg.CacheEntries),
+		reg:   &serve.Registry{},
+		mux:   http.NewServeMux(),
+		slots: make(chan struct{}, cfg.Slots),
+	}
+	w.http = &http.Server{Handler: w.mux}
+
+	w.mChunks = w.reg.CounterVec("blackdp_dist_worker_chunks_total",
+		"Executed chunks by final status.", "status",
+		serve.StatusDone, serve.StatusFailed, serve.StatusCanceled)
+	w.mRejected = w.reg.Counter("blackdp_dist_worker_chunks_rejected_total",
+		"Chunks rejected with 429 because every slot was busy.")
+	w.mReps = w.reg.Counter("blackdp_dist_worker_reps_completed_total",
+		"Replications completed by this worker across all chunks.")
+	w.reg.CounterFunc("blackdp_dist_worker_cache_hits_total",
+		"Chunk requests answered from the node's chunk cache (completed hits plus in-flight joins).",
+		func() uint64 { st := w.cache.Stats(); return st.Hits + st.Joins })
+	w.reg.CounterFunc("blackdp_dist_worker_cache_misses_total",
+		"Chunk requests that had to execute replications.",
+		func() uint64 { return w.cache.Stats().Misses })
+	w.reg.GaugeFunc("blackdp_dist_worker_chunks_running",
+		"Chunks currently executing.",
+		func() float64 { return float64(w.running.Load()) })
+
+	for _, prefix := range []string{"/v1", ""} {
+		w.mux.HandleFunc("POST "+prefix+"/chunks", w.handleChunk)
+		w.mux.HandleFunc("GET "+prefix+"/healthz", w.handleHealth)
+		w.mux.HandleFunc("GET "+prefix+"/metrics", w.handleMetrics)
+	}
+	return w
+}
+
+// Handler exposes the worker mux (for tests and embedding).
+func (w *Worker) Handler() http.Handler { return w.mux }
+
+// Serve accepts connections on l until Drain; it returns
+// http.ErrServerClosed after a clean drain, like net/http.
+func (w *Worker) Serve(l net.Listener) error { return w.http.Serve(l) }
+
+// Drain stops admission (new chunks get 503), waits for in-flight chunks
+// and returns the final chunk-cache statistics.
+func (w *Worker) Drain(ctx context.Context) (serve.CacheStats, error) {
+	w.draining.Store(true)
+	err := w.http.Shutdown(ctx)
+	return w.cache.Stats(), err
+}
+
+// Running reports how many chunks are executing right now (the orphan
+// tests poll it to prove cancellation reached the replication pools).
+func (w *Worker) Running() int { return int(w.running.Load()) }
+
+// Metrics exposes the worker's registry.
+func (w *Worker) Metrics() *serve.Registry { return w.reg }
+
+func (w *Worker) retryAfterSeconds() int {
+	secs := int(w.cfg.RetryAfter.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// parseChunk validates a chunk request body against the worker limits.
+func (w *Worker) parseChunk(body []byte) (chunkRequest, scenario.Config, string, error) {
+	var req chunkRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return req, scenario.Config{}, "", fmt.Errorf("parsing chunk request: %w", err)
+	}
+	if req.Start < 0 {
+		return req, scenario.Config{}, "", fmt.Errorf("chunk start %d is negative", req.Start)
+	}
+	if req.Count < 1 {
+		return req, scenario.Config{}, "", fmt.Errorf("chunk needs count >= 1, got %d", req.Count)
+	}
+	if req.Count > w.cfg.MaxChunkReps {
+		return req, scenario.Config{}, "", fmt.Errorf("chunk of %d reps exceeds the worker limit of %d", req.Count, w.cfg.MaxChunkReps)
+	}
+	raw := req.Config
+	if len(raw) == 0 {
+		raw = []byte("{}")
+	}
+	cfg, err := scenario.DecodeConfig(raw)
+	if err != nil {
+		return req, scenario.Config{}, "", err
+	}
+	key, err := ChunkKey(cfg, req.Start, req.Count)
+	if err != nil {
+		return req, scenario.Config{}, "", err
+	}
+	return req, cfg, key, nil
+}
+
+func (w *Worker) handleChunk(rw http.ResponseWriter, r *http.Request) {
+	if w.draining.Load() {
+		serve.WriteError(rw, http.StatusServiceUnavailable, "draining",
+			"worker is draining and not accepting chunks", w.retryAfterSeconds())
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(rw, r.Body, 1<<20))
+	if err != nil {
+		serve.WriteError(rw, http.StatusBadRequest, "bad_request", "reading request: "+err.Error(), 0)
+		return
+	}
+	req, cfg, key, err := w.parseChunk(body)
+	if err != nil {
+		serve.WriteError(rw, http.StatusBadRequest, "bad_request", err.Error(), 0)
+		return
+	}
+	ctx := r.Context()
+
+	// Single-flight on the chunk key: concurrent identical sub-jobs (two
+	// coordinators, or one coordinator's retry racing its own timeout)
+	// join the leader instead of recomputing. A joiner whose leader failed
+	// loops to lead the next attempt itself.
+	for {
+		entry, leader := w.cache.Begin(key)
+		if leader {
+			w.executeChunk(ctx, rw, req, cfg, key, entry)
+			return
+		}
+		payload, err := entry.Wait(ctx)
+		if err == nil {
+			w.writeCachedChunk(rw, req, key, payload)
+			return
+		}
+		if ctx.Err() != nil {
+			serve.WriteError(rw, http.StatusServiceUnavailable, "canceled", ctx.Err().Error(), 0)
+			return
+		}
+	}
+}
+
+// writeCachedChunk replays a completed chunk payload without progress
+// lines — the coordinator reports the reps itself on a cache hit.
+func (w *Worker) writeCachedChunk(rw http.ResponseWriter, req chunkRequest, key string, payload []byte) {
+	rw.Header().Set("Content-Type", "application/x-ndjson")
+	rw.Header().Set("X-Blackdp-Cache", "hit")
+	_ = writeJSONLine(rw, chunkLine{Type: "accepted", Key: key, Cache: "hit", Total: req.Count})
+	_ = writeJSONLine(rw, chunkLine{Type: "result", Key: key, Cache: "hit", Total: req.Count})
+	_, _ = rw.Write(payload)
+	_, _ = io.WriteString(rw, "\n")
+	if f, ok := rw.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// executeChunk runs replications [start, start+count) as the key's leader.
+func (w *Worker) executeChunk(ctx context.Context, rw http.ResponseWriter, req chunkRequest, cfg scenario.Config, key string, entry *serve.Entry) {
+	// Admission control: a free slot or an immediate 429 with the same
+	// typed envelope the serve layer speaks, so the coordinator's retry
+	// loop gets a machine-readable back-off hint.
+	select {
+	case w.slots <- struct{}{}:
+	default:
+		w.cache.Abort(entry, errors.New("dist: chunk rejected by admission control"))
+		w.mRejected.Inc()
+		serve.WriteError(rw, http.StatusTooManyRequests, "chunk_slots_full",
+			"every chunk slot is busy", w.retryAfterSeconds())
+		return
+	}
+	defer func() { <-w.slots }()
+	w.running.Add(1)
+	defer w.running.Add(-1)
+
+	rw.Header().Set("Content-Type", "application/x-ndjson")
+	rw.Header().Set("X-Blackdp-Cache", "miss")
+	_ = writeJSONLine(rw, chunkLine{Type: "accepted", Key: key, Cache: "miss", Total: req.Count})
+	start := time.Now()
+
+	// Progress flows through a buffered channel to a writer goroutine so a
+	// slow coordinator connection cannot stall the replication pool;
+	// excess lines are dropped (progress is advisory, the payload is not).
+	lines := make(chan chunkLine, 64)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		for line := range lines {
+			_ = writeJSONLine(rw, line)
+		}
+	}()
+	repsDone := 0
+	onRep := func(rep int, err error) { // serialised by exp.Map; rep is GLOBAL
+		w.mReps.Inc()
+		repsDone++
+		line := chunkLine{Type: "progress", Rep: rep, Done: repsDone, Total: req.Count}
+		if err != nil {
+			line.Error = err.Error()
+		}
+		select {
+		case lines <- line:
+		default:
+		}
+	}
+
+	pool := req.Workers
+	if pool <= 0 {
+		pool = w.cfg.SweepWorkers
+	}
+	outs, err := scenario.RunSweepRange(ctx, cfg, req.Start, req.Count,
+		scenario.SweepOptions{Workers: pool, OnRep: onRep}, nil)
+	close(lines)
+	<-writerDone
+	elapsed := time.Since(start)
+
+	if err != nil {
+		w.cache.Complete(entry, nil, err)
+		status := serve.StatusFailed
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			status = serve.StatusCanceled
+		}
+		w.mChunks.Inc(status)
+		_ = writeJSONLine(rw, chunkLine{Type: "error", Key: key, Error: err.Error(), ElapsedMS: elapsed.Milliseconds()})
+		return
+	}
+	payload, err := json.Marshal(chunkPayload{Outcomes: outs})
+	if err != nil {
+		w.cache.Complete(entry, nil, err)
+		w.mChunks.Inc(serve.StatusFailed)
+		_ = writeJSONLine(rw, chunkLine{Type: "error", Key: key, Error: err.Error()})
+		return
+	}
+	w.cache.Complete(entry, payload, nil)
+	w.mChunks.Inc(serve.StatusDone)
+	_ = writeJSONLine(rw, chunkLine{Type: "result", Key: key, Cache: "miss", ElapsedMS: elapsed.Milliseconds(), Total: req.Count})
+	_, _ = rw.Write(payload)
+	_, _ = io.WriteString(rw, "\n")
+	if f, ok := rw.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (w *Worker) handleHealth(rw http.ResponseWriter, _ *http.Request) {
+	status := "ok"
+	if w.draining.Load() {
+		status = "draining"
+	}
+	rw.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(rw).Encode(struct {
+		Status  string `json:"status"`
+		Running int    `json:"running"`
+	}{status, int(w.running.Load())})
+}
+
+func (w *Worker) handleMetrics(rw http.ResponseWriter, _ *http.Request) {
+	rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = w.reg.Render(rw)
+}
+
+func writeJSONLine(w io.Writer, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+	return err
+}

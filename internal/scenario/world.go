@@ -1074,21 +1074,42 @@ func reconcileWorkers(sweepWorkers int, cfgs []Config) int {
 // (Config.RunWorkers >= 2) the two worker budgets are reconciled so their
 // product stays within GOMAXPROCS — see reconcileWorkers.
 func RunSweep(ctx context.Context, cfg Config, reps int, opt SweepOptions, mutate func(rep int, c *Config)) ([]metrics.Outcome, error) {
-	cfgs := make([]Config, reps)
-	for rep := range cfgs {
+	return RunSweepRange(ctx, cfg, 0, reps, opt, mutate)
+}
+
+// RunSweepRange executes the contiguous slice [start, start+count) of a
+// sweep's replication range and returns those outcomes in replication
+// order. Replication seeds (and mutate's rep argument, and OnRep's) are the
+// GLOBAL replication indexes, so concatenating the results of
+// RunSweepRange(0, k) and RunSweepRange(k, n-k) is byte-identical to one
+// RunSweep of n replications — the property the distributed sweep fabric
+// (internal/dist) builds on when it shards a sweep across worker nodes.
+// RunSweep is RunSweepRange over the full range.
+func RunSweepRange(ctx context.Context, cfg Config, start, count int, opt SweepOptions, mutate func(rep int, c *Config)) ([]metrics.Outcome, error) {
+	if start < 0 {
+		return nil, fmt.Errorf("scenario: sweep range start %d is negative", start)
+	}
+	cfgs := make([]Config, count)
+	for i := range cfgs {
+		rep := start + i
 		c := cfg
 		c.Seed = cfg.Seed + int64(rep)*7919
 		if mutate != nil {
 			mutate(rep, &c)
 		}
-		cfgs[rep] = c
+		cfgs[i] = c
 	}
 	opt.Workers = reconcileWorkers(opt.Workers, cfgs)
-	return exp.MapScratch(ctx, reps, exp.Options{
+	onRep := opt.OnRep
+	if onRep != nil && start > 0 {
+		local := onRep
+		onRep = func(rep int, err error) { local(start+rep, err) }
+	}
+	return exp.MapScratch(ctx, count, exp.Options{
 		Workers:  opt.Workers,
 		SeedOf:   func(rep int) int64 { return cfgs[rep].Seed },
 		Progress: opt.Progress,
-		OnRep:    opt.OnRep,
+		OnRep:    onRep,
 	}, func(int) *sim.EventPool {
 		return sim.NewEventPool()
 	}, func(ctx context.Context, rep int, pool *sim.EventPool) (metrics.Outcome, error) {

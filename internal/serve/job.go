@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sync"
@@ -105,6 +106,7 @@ type Job struct {
 	traceLog *trace.Log
 	created  time.Time
 	finished time.Time
+	cancel   context.CancelFunc // cancels the submit handler's job context
 }
 
 // view is the GET /jobs/{id} projection.
@@ -157,6 +159,29 @@ func (j *Job) finish(status, errMsg string, result []byte, log *trace.Log) {
 	j.result = result
 	j.traceLog = log
 	j.finished = time.Now()
+}
+
+// bindCancel attaches the submit handler's cancel func so
+// DELETE /v1/jobs/{id} can abort the job from another connection.
+func (j *Job) bindCancel(fn context.CancelFunc) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.cancel = fn
+}
+
+// Cancel aborts a queued or running job and reports whether there was
+// anything left to cancel. The job reaches StatusCanceled through the
+// submit handler observing its context, not here — Cancel only pulls the
+// trigger, so a cancelled job's stream still terminates with its error
+// line and the worker fan-out (if any) unwinds through the context chain.
+func (j *Job) Cancel() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.cancel == nil || j.status == StatusDone || j.status == StatusFailed || j.status == StatusCanceled {
+		return false
+	}
+	j.cancel()
+	return true
 }
 
 func (j *Job) traceSnapshot() *trace.Log {

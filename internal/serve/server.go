@@ -9,11 +9,14 @@
 // Endpoints (canonical paths are versioned under /v1; the unversioned
 // originals remain as aliases for existing clients):
 //
-//	POST /v1/jobs            submit a job; the response is an NDJSON stream
-//	                         of accepted/progress/result lines, the final
-//	                         line being the result payload itself
-//	GET  /v1/jobs            list retained jobs
-//	GET  /v1/jobs/{id}       one job's status and result
+//	POST   /v1/jobs            submit a job; the response is an NDJSON stream
+//	                           of accepted/progress/result lines, the final
+//	                           line being the result payload itself
+//	GET    /v1/jobs            list retained jobs
+//	GET    /v1/jobs/{id}       one job's status and result
+//	DELETE /v1/jobs/{id}       cancel a queued or running job; with a fleet
+//	                           configured the cancellation fans out to every
+//	                           worker holding one of the job's chunks
 //	GET  /v1/jobs/{id}/trace the retained event log of a trace-enabled run
 //	GET  /v1/metrics         Prometheus text exposition
 //	GET  /v1/healthz         liveness and drain state
@@ -47,6 +50,27 @@ import (
 	"blackdp/internal/trace"
 )
 
+// Distributor executes a sweep's replication range across a fleet of
+// remote worker nodes instead of the local replication pool. The contract
+// mirrors scenario.RunSweep: outcomes come back in replication order and
+// must be byte-identical to a local run of the same canonical config (the
+// distributed differential suite in internal/dist holds implementations to
+// it). onRep is called — serialised, but not in replication order — as
+// replication results stream back from the fleet. A Distributor that finds
+// no live workers returns an error wrapping ErrNoWorkers, which tells the
+// server to fall back to local execution rather than fail the job.
+//
+// internal/dist.Coordinator is the production implementation; it is wired
+// in through Config.Distributor by cmd/blackdp-serve's -fleet flag.
+type Distributor interface {
+	Sweep(ctx context.Context, cfg scenario.Config, reps int, onRep func(rep int, err error)) ([]metrics.Outcome, error)
+}
+
+// ErrNoWorkers reports that a Distributor has no live worker to dispatch
+// to. The server treats it as "the fleet is not available right now" and
+// executes the sweep locally; any other distributor error fails the job.
+var ErrNoWorkers = errors.New("serve: no live workers in the fleet")
+
 // Config tunes the service.
 type Config struct {
 	// Workers is the number of jobs executing concurrently (default 2).
@@ -68,6 +92,12 @@ type Config struct {
 	RetainJobs int
 	// RetryAfter is advertised on 429/503 responses (default 1s).
 	RetryAfter time.Duration
+	// Distributor, when non-nil, fans sweep jobs out across a worker fleet
+	// (see the Distributor interface). Runs and trace jobs always execute
+	// locally. If the distributor additionally implements
+	// interface{ RegisterMetrics(*Registry) } its fabric instruments are
+	// registered on the server's /metrics registry at construction.
+	Distributor Distributor
 }
 
 func (c Config) withDefaults() Config {
@@ -167,6 +197,13 @@ func New(cfg Config) *Server {
 	s.mSeconds = s.reg.Histogram("blackdp_serve_job_seconds",
 		"Wall time per executed job.", 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60)
 
+	// A distributor that carries its own instruments (the dist coordinator's
+	// fabric gauges and counters) exposes them through the same registry, so
+	// one /metrics scrape covers the whole fabric.
+	if mr, ok := cfg.Distributor.(interface{ RegisterMetrics(*Registry) }); ok {
+		mr.RegisterMetrics(s.reg)
+	}
+
 	// Canonical routes live under /v1; the unversioned paths predate the
 	// versioned API and stay registered as aliases so existing clients and
 	// scripts keep working. Both prefixes resolve to the same handlers, so
@@ -175,6 +212,7 @@ func New(cfg Config) *Server {
 		s.mux.HandleFunc("POST "+prefix+"/jobs", s.handleSubmit)
 		s.mux.HandleFunc("GET "+prefix+"/jobs", s.handleList)
 		s.mux.HandleFunc("GET "+prefix+"/jobs/{id}", s.handleJob)
+		s.mux.HandleFunc("DELETE "+prefix+"/jobs/{id}", s.handleCancel)
 		s.mux.HandleFunc("GET "+prefix+"/jobs/{id}/trace", s.handleTrace)
 		s.mux.HandleFunc("GET "+prefix+"/metrics", s.handleMetrics)
 		s.mux.HandleFunc("GET "+prefix+"/healthz", s.handleHealth)
@@ -222,25 +260,25 @@ func (s *Server) retryAfterSeconds() int {
 	return secs
 }
 
-// apiError is the typed envelope of every non-2xx response: a stable
+// APIError is the typed envelope of every non-2xx response: a stable
 // machine-readable code, a human-readable message, and — on responses that
 // also carry a Retry-After header — the same back-off hint as a number, so
 // clients need not parse the header.
-type apiError struct {
+type APIError struct {
 	Code              string `json:"code"`
 	Message           string `json:"message"`
 	RetryAfterSeconds int    `json:"retry_after_seconds,omitempty"`
 }
 
-// writeError emits the JSON error envelope; retryAfter <= 0 omits the hint
+// WriteError emits the JSON error envelope; retryAfter <= 0 omits the hint
 // and the Retry-After header.
-func writeError(w http.ResponseWriter, status int, code, message string, retryAfter int) {
+func WriteError(w http.ResponseWriter, status int, code, message string, retryAfter int) {
 	if retryAfter > 0 {
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(apiError{Code: code, Message: message, RetryAfterSeconds: retryAfter})
+	_ = json.NewEncoder(w).Encode(APIError{Code: code, Message: message, RetryAfterSeconds: retryAfter})
 }
 
 func writeJSONLine(w io.Writer, v any) error {
@@ -270,21 +308,25 @@ type streamLine struct {
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, "draining",
+		WriteError(w, http.StatusServiceUnavailable, "draining",
 			"server is draining and not accepting jobs", s.retryAfterSeconds())
 		return
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad_request", "reading request: "+err.Error(), 0)
+		WriteError(w, http.StatusBadRequest, "bad_request", "reading request: "+err.Error(), 0)
 		return
 	}
 	spec, err := parseRequest(body, s.cfg.MaxReps)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad_request", err.Error(), 0)
+		WriteError(w, http.StatusBadRequest, "bad_request", err.Error(), 0)
 		return
 	}
-	ctx := r.Context()
+	// A job's execution context cancels two ways: the submitting client
+	// disconnecting (r.Context) or DELETE /v1/jobs/{id} from any other
+	// connection (the cancel func bound to the job record).
+	ctx, cancelJob := context.WithCancel(r.Context())
+	defer cancelJob()
 
 	// Cache read path. Trace jobs skip it — an event log cannot come from
 	// the cache — but still publish their result bytes on completion.
@@ -293,7 +335,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		var leader bool
 		entry, leader = s.cache.Begin(spec.key)
 		if !leader {
-			s.serveCached(ctx, w, spec, entry)
+			s.serveCached(ctx, cancelJob, w, spec, entry)
 			return
 		}
 	}
@@ -306,13 +348,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			s.cache.Abort(entry, errors.New("serve: rejected by admission control"))
 		}
 		s.mRejected.Inc()
-		writeError(w, http.StatusTooManyRequests, "queue_full",
+		WriteError(w, http.StatusTooManyRequests, "queue_full",
 			"job queue is full", s.retryAfterSeconds())
 		return
 	}
 	defer func() { <-s.admSlots }()
 	s.mAccepted.Inc()
 	job := s.newJob(spec)
+	job.bindCancel(cancelJob)
 	job.setCache("miss")
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -411,9 +454,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 // serveCached answers a request whose key is already cached or in flight.
-func (s *Server) serveCached(ctx context.Context, w http.ResponseWriter, spec jobSpec, entry *Entry) {
+func (s *Server) serveCached(ctx context.Context, cancel context.CancelFunc, w http.ResponseWriter, spec jobSpec, entry *Entry) {
 	s.mAccepted.Inc()
 	job := s.newJob(spec)
+	job.bindCancel(cancel)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Blackdp-Cache", "hit")
 	_ = writeJSONLine(w, streamLine{Type: "accepted", Job: job.ID, Key: spec.key, Cache: "hit", Total: spec.reps})
@@ -460,6 +504,16 @@ func (s *Server) execute(ctx context.Context, spec jobSpec, onRep func(int, erro
 		}
 		return []metrics.Outcome{o}, log, nil
 	default: // "sweep", validated upstream
+		// A configured fleet takes the sweep first; a fleet with no live
+		// worker (ErrNoWorkers) degrades to local execution so a dead
+		// testnet never turns into failed jobs. Any other fleet error is
+		// the job's error — the chunks already retried inside Sweep.
+		if d := s.cfg.Distributor; d != nil {
+			outcomes, err := d.Sweep(ctx, spec.cfg, spec.reps, onRep)
+			if err == nil || !errors.Is(err, ErrNoWorkers) {
+				return outcomes, nil, err
+			}
+		}
 		pool := spec.pool
 		if pool <= 0 {
 			pool = s.cfg.SweepWorkers
@@ -518,22 +572,47 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	job := s.lookup(r.PathValue("id"))
 	if job == nil {
-		writeError(w, http.StatusNotFound, "not_found", "no such job: "+r.PathValue("id"), 0)
+		WriteError(w, http.StatusNotFound, "not_found", "no such job: "+r.PathValue("id"), 0)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(job.view(true))
 }
 
+// handleCancel is DELETE /v1/jobs/{id}: it cancels a queued or running
+// job's execution context. For distributed sweeps the cancellation fans out
+// end-to-end — the coordinator's in-flight chunk requests are ctx-bound
+// HTTP calls, so cancelling the job aborts them, and each worker's chunk
+// context is its request context, so the aborted connections stop the
+// remote replication pools too.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job := s.lookup(r.PathValue("id"))
+	if job == nil {
+		WriteError(w, http.StatusNotFound, "not_found", "no such job: "+r.PathValue("id"), 0)
+		return
+	}
+	if !job.Cancel() {
+		WriteError(w, http.StatusConflict, "already_finished",
+			"job "+job.ID+" already finished", 0)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	_ = json.NewEncoder(w).Encode(struct {
+		Job    string `json:"job"`
+		Status string `json:"status"`
+	}{job.ID, "canceling"})
+}
+
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	job := s.lookup(r.PathValue("id"))
 	if job == nil {
-		writeError(w, http.StatusNotFound, "not_found", "no such job: "+r.PathValue("id"), 0)
+		WriteError(w, http.StatusNotFound, "not_found", "no such job: "+r.PathValue("id"), 0)
 		return
 	}
 	log := job.traceSnapshot()
 	if log == nil {
-		writeError(w, http.StatusNotFound, "no_trace",
+		WriteError(w, http.StatusNotFound, "no_trace",
 			"job retained no trace (submit with \"trace\": true)", 0)
 		return
 	}

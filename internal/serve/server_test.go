@@ -394,9 +394,9 @@ func TestErrorEnvelope(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	decode := func(t *testing.T, body string) apiError {
+	decode := func(t *testing.T, body string) APIError {
 		t.Helper()
-		var e apiError
+		var e APIError
 		if err := json.Unmarshal([]byte(body), &e); err != nil {
 			t.Fatalf("error body is not the JSON envelope: %q (%v)", body, err)
 		}

@@ -1,5 +1,6 @@
 #!/bin/sh
-# Run the benchmark suites and write BENCH_serve.json (service path) and
+# Run the benchmark suites and write BENCH_serve.json (service path),
+# BENCH_dist.json (sweep-fabric dispatch, merge and worker-count curve) and
 # BENCH_core.json (scheduler, radio, codec, crypto, sweep engine, metro
 # scaling curve) in one shared schema: one object per benchmark with ns/op, B/op and
 # allocs/op, so regressions diff cleanly in review. Each micro-benchmark runs
@@ -75,6 +76,14 @@ write_file() { # write_file <out> <entries...>
 serve_raw="$(go test ./internal/serve -run '^$' -bench . -benchtime "$benchtime" -benchmem -count="$count")"
 echo "$serve_raw"
 write_file BENCH_serve.json "$(echo "$serve_raw" | entries)"
+
+# The sweep fabric: sub-job dispatch overhead (cold and chunk-cached),
+# coordinator merge throughput, and the local-vs-1/2/4-worker sweep curve.
+# Everything runs on one host, so the worker curve prices fabric overhead —
+# dispatch, NDJSON stream-back, merge — not distributed speedup.
+dist_raw="$(go test ./internal/dist -run '^$' -bench . -benchtime "$benchtime" -benchmem -count="$count")"
+echo "$dist_raw"
+write_file BENCH_dist.json "$(echo "$dist_raw" | entries)"
 
 core_raw="$(go test ./internal/sim ./internal/radio ./internal/wire ./internal/exp ./internal/pki \
 	-run '^$' -bench . -benchtime "$benchtime" -benchmem -count="$count")"
