@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench profile serve testnet
+.PHONY: build test race bench profile serve testnet load
 
 build:
 	$(GO) build ./...
@@ -27,3 +27,8 @@ profile:
 
 serve: build
 	$(GO) run ./cmd/blackdp-serve
+
+# Multi-tenant soak: closed-loop clients across tenants against an
+# in-process server, latency percentiles + fairness skew.
+load:
+	$(GO) run ./cmd/blackdp-load -clients 300 -jobs 2 -tenants 3 -saturate

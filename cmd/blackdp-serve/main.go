@@ -1,16 +1,24 @@
 // Command blackdp-serve exposes the simulator as a long-running HTTP
-// service: POST simulation or sweep jobs as JSON, watch per-replication
-// progress stream back as NDJSON, and read aggregate service health from
-// a Prometheus-style /metrics endpoint. Identical configurations are
-// answered from a canonical-fingerprint result cache.
+// service: POST simulation or sweep jobs as JSON under /v1, watch
+// per-replication progress stream back as NDJSON, and read aggregate
+// service health from a Prometheus-style /v1/metrics endpoint. Identical
+// configurations are answered from a canonical-fingerprint result cache.
 //
 //	blackdp-serve -addr :8080
-//	curl -sN localhost:8080/jobs -d '{"kind":"sweep","reps":20,"config":{"AttackerCluster":4}}'
-//	curl -s  localhost:8080/metrics
+//	curl -sN localhost:8080/v1/jobs -d '{"kind":"sweep","reps":20,"config":{"AttackerCluster":4}}'
+//	curl -s  localhost:8080/v1/metrics
+//
+// With -api-key or -keys the server is multi-tenant: every job request
+// must carry "Authorization: Bearer <key>", and each tenant gets its own
+// token-bucket rate limit, bounded queue and fair share of the execution
+// slots. With -store DIR sweep jobs are durable: their streams journal to
+// disk, survive a kill -9, resume on restart and can be re-tailed from
+// any line offset via GET /v1/jobs/{id}/stream?offset=N.
 //
 // On SIGTERM or SIGINT the server drains: new jobs are refused with 503
-// while in-flight jobs run to completion, then the cache statistics are
-// logged and the process exits.
+// while in-flight jobs run to completion (durable jobs checkpoint and
+// resume on the next start), then the cache statistics are logged and the
+// process exits.
 package main
 
 import (
@@ -50,8 +58,27 @@ func run() error {
 		pprofOn = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profiling only; do not enable on untrusted networks)")
 		fleet   = flag.String("fleet", "", "comma-separated blackdp-worker base URLs; sweeps shard across them (empty = local execution)")
 		chunk   = flag.Int("chunk-reps", 0, "replications per dispatched fleet chunk (0 = default)")
+		store   = flag.String("store", "", "directory for the durable job store (empty = jobs are in-memory only)")
+		keys    = flag.String("keys", "", "tenant keyfile: one name:key[:rate[:burst]] per line")
 	)
+	var tenants []serve.Tenant
+	flag.Func("api-key", "tenant in name:key[:rate[:burst]] form (repeatable)", func(s string) error {
+		t, err := serve.ParseTenant(s)
+		if err != nil {
+			return err
+		}
+		tenants = append(tenants, t)
+		return nil
+	})
 	flag.Parse()
+
+	if *keys != "" {
+		fromFile, err := serve.LoadKeyfile(*keys)
+		if err != nil {
+			return err
+		}
+		tenants = append(tenants, fromFile...)
+	}
 
 	cfg := serve.Config{
 		Workers:      *workers,
@@ -59,6 +86,18 @@ func run() error {
 		CacheEntries: *cache,
 		SweepWorkers: *pool,
 		MaxReps:      *maxReps,
+		Tenants:      tenants,
+	}
+	if *store != "" {
+		fs, err := serve.NewFileStore(*store)
+		if err != nil {
+			return err
+		}
+		cfg.Store = fs
+		fmt.Printf("blackdp-serve store: durable jobs in %s\n", *store)
+	}
+	if len(tenants) > 0 {
+		fmt.Printf("blackdp-serve tenants: %d API keys loaded\n", len(tenants))
 	}
 	if *fleet != "" {
 		urls := strings.Split(*fleet, ",")
@@ -68,7 +107,10 @@ func run() error {
 		cfg.Distributor = coord
 		fmt.Printf("blackdp-serve fleet: %d workers configured\n", len(urls))
 	}
-	s := serve.New(cfg)
+	s, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
 	if *pprofOn {
 		// Profiling rides on the service port so scripts/profile.sh can
 		// capture CPU and heap profiles of a live sweep without a second

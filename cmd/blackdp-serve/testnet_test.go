@@ -17,8 +17,33 @@ import (
 // testnetProc is one real process of the localhost testnet (a worker or a
 // serve coordinator) with its parsed listen address.
 type testnetProc struct {
-	cmd  *exec.Cmd
-	addr string
+	cmd      *exec.Cmd
+	addr     string
+	scanDone chan struct{} // closed when the stdout drain goroutine hits EOF
+
+	mu  sync.Mutex
+	out strings.Builder // stdout after the handshake line
+}
+
+// waitExit waits for the process to exit (within d) and returns everything
+// it printed after the startup handshake. The stdout drain is awaited
+// before cmd.Wait so the exiting process's final lines are never lost to
+// Wait closing the pipe.
+func (p *testnetProc) waitExit(t *testing.T, d time.Duration) string {
+	t.Helper()
+	select {
+	case <-p.scanDone:
+	case <-time.After(d):
+		t.Errorf("process did not exit within %v", d)
+		_ = p.cmd.Process.Kill()
+		<-p.scanDone
+	}
+	if err := p.cmd.Wait(); err != nil {
+		t.Errorf("process exit: %v", err)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.out.String()
 }
 
 func startProc(t *testing.T, bin string, args ...string) *testnetProc {
@@ -47,11 +72,18 @@ func startProc(t *testing.T, bin string, args ...string) *testnetProc {
 	if addrLine == "" {
 		t.Fatalf("%s: no listening line: %v", filepath.Base(bin), sc.Err())
 	}
+	p := &testnetProc{cmd: cmd, scanDone: make(chan struct{}),
+		addr: addrLine[strings.LastIndex(addrLine, " ")+1:]}
 	go func() { // keep the pipe drained so the process never blocks on it
+		defer close(p.scanDone)
 		for sc.Scan() {
+			p.mu.Lock()
+			p.out.WriteString(sc.Text())
+			p.out.WriteByte('\n')
+			p.mu.Unlock()
 		}
 	}()
-	return &testnetProc{cmd: cmd, addr: addrLine[strings.LastIndex(addrLine, " ")+1:]}
+	return p
 }
 
 // sweepPayload submits a sweep and returns the final NDJSON payload line,

@@ -1,7 +1,6 @@
 package dist
 
 import (
-	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -10,43 +9,13 @@ import (
 	"net/http"
 	"strings"
 
-	"blackdp/internal/serve"
+	"blackdp/serve/client"
 )
 
-// WorkerError is a worker's typed non-2xx answer, decoded from the same
-// JSON envelope the serve layer writes ({"code","message",
-// "retry_after_seconds"}). The coordinator's retry loop switches on it:
-// backpressure answers (429 queue-full, 503 draining) are retried after
-// the advertised back-off without burning the chunk's failure budget, and
-// when a budget does run out the envelope — code and retry hint included —
-// surfaces in the job error instead of being swallowed.
-type WorkerError struct {
-	Status            int    // HTTP status code
-	Code              string // envelope code ("chunk_slots_full", "draining", ...)
-	Message           string // envelope message (or raw body if not an envelope)
-	RetryAfterSeconds int    // envelope back-off hint; 0 when absent
-}
-
-func (e *WorkerError) Error() string {
-	msg := fmt.Sprintf("worker answered %d", e.Status)
-	if e.Code != "" {
-		msg += " " + e.Code
-	}
-	if e.Message != "" {
-		msg += ": " + e.Message
-	}
-	if e.RetryAfterSeconds > 0 {
-		msg += fmt.Sprintf(" (retry after %ds)", e.RetryAfterSeconds)
-	}
-	return msg
-}
-
-// Backpressure reports whether the worker refused the chunk for capacity
-// reasons (429) or because it is draining (503) — answers that mean "try
-// again elsewhere or later", not "this chunk is broken".
-func (e *WorkerError) Backpressure() bool {
-	return e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable
-}
+// WorkerError is a worker's typed non-2xx answer. It is the shared
+// serve-client envelope error — the coordinator's retry loop switches on
+// its Backpressure() exactly as every other API consumer does.
+type WorkerError = client.APIError
 
 // runChunk posts one chunk to a worker and consumes its NDJSON stream:
 // onRep fires per progress line with the GLOBAL replication index and the
@@ -64,32 +33,22 @@ func runChunk(ctx context.Context, hc *http.Client, baseURL string, body []byte,
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
-	resp, err := hc.Do(req)
+	stream, err := client.DoNDJSON(hc, req)
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
-		we := &WorkerError{Status: resp.StatusCode, Message: strings.TrimSpace(string(raw))}
-		var env serve.APIError
-		if json.Unmarshal(raw, &env) == nil && env.Code != "" {
-			we.Code, we.Message, we.RetryAfterSeconds = env.Code, env.Message, env.RetryAfterSeconds
-		}
-		return nil, we
-	}
+	defer stream.Close()
 
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 0, 64<<10), 64<<20) // outcome payloads grow with the chunk
+	var payload []byte
 	payloadNext := false
-	for sc.Scan() {
-		raw := sc.Bytes()
+	err = client.Lines(stream, func(raw []byte) error {
 		if payloadNext {
-			return append([]byte(nil), raw...), nil
+			payload = append([]byte(nil), raw...)
+			return client.ErrStop
 		}
 		var line chunkLine
 		if err := json.Unmarshal(raw, &line); err != nil {
-			return nil, fmt.Errorf("dist: parsing worker stream: %w", err)
+			return fmt.Errorf("dist: parsing worker stream: %w", err)
 		}
 		switch line.Type {
 		case "accepted":
@@ -98,43 +57,28 @@ func runChunk(ctx context.Context, hc *http.Client, baseURL string, body []byte,
 				onRep(line.Rep, line.Error)
 			}
 		case "error":
-			return nil, fmt.Errorf("dist: worker chunk failed: %s", line.Error)
+			return fmt.Errorf("dist: worker chunk failed: %s", line.Error)
 		case "result":
 			payloadNext = true
 		default:
-			return nil, fmt.Errorf("dist: unknown worker stream line %q", line.Type)
+			return fmt.Errorf("dist: unknown worker stream line %q", line.Type)
 		}
-	}
-	if err := sc.Err(); err != nil {
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
+	if payload == nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("dist: worker stream ended without a result: %w", io.ErrUnexpectedEOF)
 	}
-	return nil, fmt.Errorf("dist: worker stream ended without a result: %w", io.ErrUnexpectedEOF)
+	return payload, nil
 }
 
 // probeWorker checks a worker's /v1/healthz; only a 200 with status "ok"
 // (not draining) counts as live.
 func probeWorker(ctx context.Context, hc *http.Client, baseURL string) bool {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		strings.TrimRight(baseURL, "/")+"/v1/healthz", nil)
-	if err != nil {
-		return false
-	}
-	resp, err := hc.Do(req)
-	if err != nil {
-		return false
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return false
-	}
-	var health struct {
-		Status string `json:"status"`
-	}
-	if err := json.NewDecoder(io.LimitReader(resp.Body, 4<<10)).Decode(&health); err != nil {
-		return false
-	}
-	return health.Status == "ok"
+	return client.Probe(ctx, hc, baseURL)
 }

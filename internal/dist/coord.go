@@ -198,9 +198,13 @@ type chunk struct {
 	backpressures int // 429/503 refusals
 }
 
-// sweepState is the shared bookkeeping of one Sweep call.
+// sweepState is the shared bookkeeping of one SweepRange call. Replication
+// indexes are GLOBAL (chunk starts, onRep, cache keys); base translates
+// them into the local results slice.
 type sweepState struct {
 	mu        sync.Mutex
+	base      int // global index of results[0]
+	tenant    string
 	results   []metrics.Outcome
 	reported  []bool // per-rep onRep dedup across chunk retries and cache hits
 	onRep     func(rep int, err error)
@@ -215,10 +219,11 @@ type sweepState struct {
 func (st *sweepState) report(rep int, errMsg string) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if rep < 0 || rep >= len(st.reported) || st.reported[rep] {
+	i := rep - st.base
+	if i < 0 || i >= len(st.reported) || st.reported[i] {
 		return
 	}
-	st.reported[rep] = true
+	st.reported[i] = true
 	if st.onRep != nil {
 		var err error
 		if errMsg != "" {
@@ -230,7 +235,7 @@ func (st *sweepState) report(rep int, errMsg string) {
 
 // finish merges a completed chunk's outcomes at its replication offset.
 func (st *sweepState) finish(ck *chunk, outs []metrics.Outcome) {
-	copy(st.results[ck.start:ck.start+ck.count], outs)
+	copy(st.results[ck.start-st.base:ck.start-st.base+ck.count], outs)
 	for rep := ck.start; rep < ck.start+ck.count; rep++ {
 		st.report(rep, "")
 	}
@@ -256,13 +261,26 @@ func (st *sweepState) fail(start int, err error) {
 
 // Sweep executes reps replications of cfg across the fleet and returns the
 // outcomes in replication order, byte-identical to scenario.RunSweep on
-// one node (the differential suite holds it to that). onRep fires once per
-// replication — serialised, not in replication order — as progress streams
-// back. If no fleet member is live (after an on-demand probe and
-// FleetGrace of waiting) the error wraps serve.ErrNoWorkers, which tells
-// the serve layer to fall back to local execution.
+// one node (the differential suite holds it to that).
 func (c *Coordinator) Sweep(ctx context.Context, cfg scenario.Config, reps int, onRep func(rep int, err error)) ([]metrics.Outcome, error) {
-	if reps <= 0 {
+	return c.SweepRange(ctx, cfg, 0, reps, onRep)
+}
+
+// SweepRange executes count replications of cfg starting at GLOBAL
+// replication index start, fanned out across the fleet, and returns the
+// outcomes in replication order — byte-identical to the corresponding
+// slice of scenario.RunSweep on one node, because replication seeds are a
+// pure function of the global index. Chunk boundaries and cache keys use
+// global indexes too, so a resumed durable job's tail range shares cached
+// chunks with the full sweep that preceded it. onRep fires once per
+// replication — serialised, not in replication order — as progress
+// streams back, carrying the global index. The submitting tenant (from
+// serve.WithTenant on ctx) is stamped on every dispatched chunk for
+// worker-side accounting. If no fleet member is live (after an on-demand
+// probe and FleetGrace of waiting) the error wraps serve.ErrNoWorkers,
+// which tells the serve layer to fall back to local execution.
+func (c *Coordinator) SweepRange(ctx context.Context, cfg scenario.Config, start, count int, onRep func(rep int, err error)) ([]metrics.Outcome, error) {
+	if count <= 0 {
 		return nil, nil
 	}
 	// Canonical bytes are the wire form: fully defaulted and normalised,
@@ -287,20 +305,30 @@ func (c *Coordinator) Sweep(ctx context.Context, cfg scenario.Config, reps int, 
 		}
 	}
 
+	// Chunk boundaries align to global multiples of ChunkReps, not to the
+	// range start, so a range resuming at an aligned index dispatches the
+	// same chunks — and hits the same cache keys — as the full sweep that
+	// preceded it. An unaligned head becomes one partial chunk with its
+	// own key.
 	size := c.cfg.ChunkReps
-	nchunks := (reps + size - 1) / size
-	pending := make(chan *chunk, nchunks)
-	for i := 0; i < nchunks; i++ {
-		start := i * size
-		pending <- &chunk{start: start, count: min(size, reps-start)}
+	end := start + count
+	first := (start / size) * size
+	nchunks := 0
+	pending := make(chan *chunk, (end-first+size-1)/size)
+	for cs := first; cs < end; cs += size {
+		lo, hi := max(cs, start), min(cs+size, end)
+		pending <- &chunk{start: lo, count: hi - lo}
+		nchunks++
 	}
 	st := &sweepState{
-		results:   make([]metrics.Outcome, reps),
-		reported:  make([]bool, reps),
+		base:      start,
+		tenant:    serve.TenantName(ctx),
+		results:   make([]metrics.Outcome, count),
+		reported:  make([]bool, count),
 		onRep:     onRep,
 		remaining: nchunks,
 		done:      make(chan struct{}),
-		failStart: reps + 1,
+		failStart: end + 1,
 	}
 	sctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -320,7 +348,7 @@ func (c *Coordinator) Sweep(ctx context.Context, cfg scenario.Config, reps int, 
 						if deadSince.IsZero() {
 							deadSince = time.Now()
 						} else if time.Since(deadSince) > c.cfg.FleetGrace {
-							st.fail(0, fmt.Errorf("dist: fleet dead for %v mid-sweep: %w",
+							st.fail(start, fmt.Errorf("dist: fleet dead for %v mid-sweep: %w",
 								c.cfg.FleetGrace, serve.ErrNoWorkers))
 							cancel()
 							return
@@ -400,7 +428,7 @@ func (c *Coordinator) processChunk(sctx context.Context, w *workerNode, canon []
 		_ = err // leader failed or payload corrupt: try to lead the retry
 	}
 
-	body, err := json.Marshal(chunkRequest{Config: canon, Start: ck.start, Count: ck.count})
+	body, err := json.Marshal(chunkRequest{Config: canon, Start: ck.start, Count: ck.count, Tenant: st.tenant})
 	if err != nil {
 		c.cache.Complete(entry, nil, err)
 		st.fail(ck.start, err)

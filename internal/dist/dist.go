@@ -51,6 +51,12 @@ type chunkRequest struct {
 	// Workers overrides the worker's per-chunk replication pool (0 = the
 	// worker's default).
 	Workers int `json:"workers,omitempty"`
+	// Tenant is the submitting tenant's name, forwarded by the coordinator
+	// for worker-side accounting (per-tenant replication counters). It is
+	// deliberately NOT part of the chunk cache key: tenancy is
+	// admission-time identity, and byte-identity makes cross-tenant chunk
+	// sharing sound.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // chunkLine is one NDJSON line of a chunk stream. Rep carries GLOBAL

@@ -469,7 +469,7 @@ func TestWorkerMetricsRender(t *testing.T) {
 // requires the fabric gauges to appear on the service /metrics page.
 func TestServeExposesFabricMetrics(t *testing.T) {
 	f := newFleet(t, 2, Config{})
-	s := serve.New(serve.Config{Distributor: f.coord})
+	s := mustServe(t, serve.Config{Distributor: f.coord})
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 

@@ -131,7 +131,7 @@ func TestDistTestnetWorkerKilledMidSweep(t *testing.T) {
 // replication pool keeps running, no goroutine is left behind.
 func TestDistCancelLeavesNoOrphans(t *testing.T) {
 	f := newFleet(t, 2, Config{ChunkReps: 4})
-	s := serve.New(serve.Config{Distributor: f.coord, SweepWorkers: 2})
+	s := mustServe(t, serve.Config{Distributor: f.coord, SweepWorkers: 2})
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 
@@ -237,10 +237,10 @@ func TestDistCancelLeavesNoOrphans(t *testing.T) {
 func TestServeFallsBackToLocalWhenFleetDead(t *testing.T) {
 	dead := New(Config{Workers: []string{"http://127.0.0.1:1"}, HealthInterval: 50 * time.Millisecond})
 	t.Cleanup(dead.Stop)
-	withFleet := serve.New(serve.Config{Distributor: dead})
+	withFleet := mustServe(t, serve.Config{Distributor: dead})
 	tsFleet := httptest.NewServer(withFleet.Handler())
 	t.Cleanup(tsFleet.Close)
-	plain := serve.New(serve.Config{})
+	plain := mustServe(t, serve.Config{})
 	tsPlain := httptest.NewServer(plain.Handler())
 	t.Cleanup(tsPlain.Close)
 
@@ -273,10 +273,10 @@ func TestServeFallsBackToLocalWhenFleetDead(t *testing.T) {
 // payload of the same sweep on a fleetless server.
 func TestServeDistributedPayloadMatchesLocal(t *testing.T) {
 	f := newFleet(t, 3, Config{ChunkReps: 3})
-	distServer := serve.New(serve.Config{Distributor: f.coord})
+	distServer := mustServe(t, serve.Config{Distributor: f.coord})
 	tsDist := httptest.NewServer(distServer.Handler())
 	t.Cleanup(tsDist.Close)
-	localServer := serve.New(serve.Config{})
+	localServer := mustServe(t, serve.Config{})
 	tsLocal := httptest.NewServer(localServer.Handler())
 	t.Cleanup(tsLocal.Close)
 
@@ -316,4 +316,14 @@ func waitUntil(t *testing.T, timeout time.Duration, what string, cond func() boo
 		time.Sleep(20 * time.Millisecond)
 	}
 	t.Fatalf("timed out waiting for %s", what)
+}
+
+// mustServe builds a serve.Server, failing the test on a config error.
+func mustServe(tb testing.TB, cfg serve.Config) *serve.Server {
+	tb.Helper()
+	s, err := serve.New(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
 }

@@ -64,9 +64,10 @@ type Worker struct {
 	running  atomic.Int64
 	draining atomic.Bool
 
-	mChunks   *serve.CounterVec
-	mRejected *serve.Counter
-	mReps     *serve.Counter
+	mChunks     *serve.CounterVec
+	mRejected   *serve.Counter
+	mReps       *serve.Counter
+	mTenantReps *serve.DynCounterVec
 }
 
 // NewWorker builds a worker with cfg (zero fields take defaults).
@@ -88,6 +89,8 @@ func NewWorker(cfg WorkerConfig) *Worker {
 		"Chunks rejected with 429 because every slot was busy.")
 	w.mReps = w.reg.Counter("blackdp_dist_worker_reps_completed_total",
 		"Replications completed by this worker across all chunks.")
+	w.mTenantReps = w.reg.DynCounterVec("blackdp_dist_worker_tenant_reps_total",
+		"Replications completed by this worker per submitting tenant.", "tenant")
 	w.reg.CounterFunc("blackdp_dist_worker_cache_hits_total",
 		"Chunk requests answered from the node's chunk cache (completed hits plus in-flight joins).",
 		func() uint64 { st := w.cache.Stats(); return st.Hits + st.Joins })
@@ -98,12 +101,22 @@ func NewWorker(cfg WorkerConfig) *Worker {
 		"Chunks currently executing.",
 		func() float64 { return float64(w.running.Load()) })
 
-	for _, prefix := range []string{"/v1", ""} {
-		w.mux.HandleFunc("POST "+prefix+"/chunks", w.handleChunk)
-		w.mux.HandleFunc("GET "+prefix+"/healthz", w.handleHealth)
-		w.mux.HandleFunc("GET "+prefix+"/metrics", w.handleMetrics)
+	w.mux.HandleFunc("POST /v1/chunks", w.handleChunk)
+	w.mux.HandleFunc("GET /v1/healthz", w.handleHealth)
+	w.mux.HandleFunc("GET /v1/metrics", w.handleMetrics)
+	// The unversioned aliases are retired alongside the serve layer's: a
+	// stale coordinator gets a typed 410, not a silent 404.
+	for _, legacy := range []string{"/chunks", "/healthz", "/metrics"} {
+		w.mux.HandleFunc(legacy, handleWorkerGone)
 	}
 	return w
+}
+
+// handleWorkerGone answers retired unversioned routes with the typed 410
+// envelope so old clients learn the /v1 prefix instead of guessing.
+func handleWorkerGone(rw http.ResponseWriter, r *http.Request) {
+	serve.WriteError(rw, http.StatusGone, "gone",
+		"the unversioned API is retired; use /v1"+r.URL.Path, 0)
 }
 
 // Handler exposes the worker mux (for tests and embedding).
@@ -254,9 +267,14 @@ func (w *Worker) executeChunk(ctx context.Context, rw http.ResponseWriter, req c
 			_ = writeJSONLine(rw, line)
 		}
 	}()
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = "default"
+	}
 	repsDone := 0
 	onRep := func(rep int, err error) { // serialised by exp.Map; rep is GLOBAL
 		w.mReps.Inc()
+		w.mTenantReps.Add(tenant, 1)
 		repsDone++
 		line := chunkLine{Type: "progress", Rep: rep, Done: repsDone, Total: req.Count}
 		if err != nil {

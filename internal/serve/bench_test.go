@@ -28,11 +28,11 @@ func BenchmarkFingerprint(b *testing.B) {
 // BenchmarkServeCacheHit measures a full HTTP round-trip answered from the
 // result cache: parse, fingerprint, single-flight lookup, stream replay.
 func BenchmarkServeCacheHit(b *testing.B) {
-	s := New(Config{})
+	s := mustNew(b, Config{})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	body := `{"kind":"run","config":{"Seed":7,"HighwayLengthM":4000,"Vehicles":30,"AttackerCluster":2,"DataPackets":5,"MaxSimTime":45000000000,"RealCrypto":false}}`
-	warm, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(body))
+	warm, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -42,7 +42,7 @@ func BenchmarkServeCacheHit(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(body))
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -57,14 +57,14 @@ func BenchmarkServeCacheHit(b *testing.B) {
 // BenchmarkServeSweep measures an uncached 8-replication sweep job through
 // the whole service stack, progress streaming included.
 func BenchmarkServeSweep(b *testing.B) {
-	s := New(Config{})
+	s := mustNew(b, Config{})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		// A fresh seed each iteration defeats the cache on purpose.
 		body := fmt.Sprintf(`{"kind":"sweep","reps":8,"config":{"Seed":%d,"HighwayLengthM":4000,"Vehicles":30,"AttackerCluster":2,"DataPackets":5,"MaxSimTime":45000000000,"RealCrypto":false}}`, i+1)
-		resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(body))
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -31,7 +31,7 @@ func del(t *testing.T, url string) (int, string) {
 }
 
 func TestCancelUnknownJobIs404(t *testing.T) {
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -46,7 +46,7 @@ func TestCancelUnknownJobIs404(t *testing.T) {
 }
 
 func TestCancelFinishedJobIs409(t *testing.T) {
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -72,7 +72,7 @@ func TestCancelFinishedJobIs409(t *testing.T) {
 // server's worker pool to come back to idle — no goroutine keeps
 // simulating a job nobody is waiting for.
 func TestCancelRunningSweepStopsWork(t *testing.T) {
-	s := New(Config{SweepWorkers: 2})
+	s := mustNew(t, Config{SweepWorkers: 2})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 

@@ -31,12 +31,13 @@ type Request struct {
 
 // jobSpec is a validated, admission-ready request.
 type jobSpec struct {
-	kind  string
-	cfg   scenario.Config
-	reps  int
-	pool  int
-	trace bool
-	key   string // canonical cache key
+	kind   string
+	cfg    scenario.Config
+	reps   int
+	pool   int
+	trace  bool
+	key    string // canonical cache key
+	rawCfg []byte // the request's config JSON, persisted for durable jobs
 }
 
 // parseRequest validates a request body against the server limits.
@@ -71,6 +72,7 @@ func parseRequest(body []byte, maxReps int) (jobSpec, error) {
 		return jobSpec{}, err
 	}
 	spec.cfg = cfg
+	spec.rawCfg = raw
 	fp, err := scenario.Fingerprint(cfg)
 	if err != nil {
 		return jobSpec{}, err
@@ -93,10 +95,11 @@ const (
 
 // Job is the retained record of one accepted request.
 type Job struct {
-	ID   string `json:"job"`
-	Kind string `json:"kind"`
-	Key  string `json:"key"`
-	Reps int    `json:"reps"`
+	ID     string `json:"job"`
+	Kind   string `json:"kind"`
+	Key    string `json:"key"`
+	Reps   int    `json:"reps"`
+	Tenant string `json:"tenant"`
 
 	mu       sync.Mutex
 	status   string
@@ -115,6 +118,7 @@ type jobView struct {
 	Kind      string          `json:"kind"`
 	Key       string          `json:"key"`
 	Reps      int             `json:"reps"`
+	Tenant    string          `json:"tenant,omitempty"`
 	Status    string          `json:"status"`
 	Cache     string          `json:"cache,omitempty"`
 	Error     string          `json:"error,omitempty"`
@@ -126,7 +130,7 @@ type jobView struct {
 func (j *Job) view(withResult bool) jobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	v := jobView{ID: j.ID, Kind: j.Kind, Key: j.Key, Reps: j.Reps,
+	v := jobView{ID: j.ID, Kind: j.Kind, Key: j.Key, Reps: j.Reps, Tenant: j.Tenant,
 		Status: j.status, Cache: j.cache, Error: j.errMsg, HasTrace: j.traceLog != nil}
 	end := j.finished
 	if end.IsZero() {

@@ -10,6 +10,7 @@ package serve
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -127,6 +128,70 @@ func (v *CounterVec) expose(w io.Writer) error {
 	return nil
 }
 
+// DynCounterVec is a counter family whose label values are discovered at
+// runtime (tenant names arriving in chunk requests, say, which a worker
+// cannot enumerate up front). Series render in sorted label order so the
+// exposition document stays deterministic.
+type DynCounterVec struct {
+	name, help, label string
+
+	mu     sync.Mutex
+	series map[string]*atomic.Uint64
+}
+
+// DynCounterVec registers a counter family with an open label-value set.
+func (r *Registry) DynCounterVec(name, help, label string) *DynCounterVec {
+	v := &DynCounterVec{name: name, help: help, label: label,
+		series: make(map[string]*atomic.Uint64)}
+	r.register(v)
+	return v
+}
+
+// Add adds n to the series for value, creating the series on first use.
+func (v *DynCounterVec) Add(value string, n uint64) {
+	v.mu.Lock()
+	c, ok := v.series[value]
+	if !ok {
+		c = new(atomic.Uint64)
+		v.series[value] = c
+	}
+	v.mu.Unlock()
+	c.Add(n)
+}
+
+// Value reads the series for value (0 if it never incremented).
+func (v *DynCounterVec) Value(value string) uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.series[value]; ok {
+		return c.Load()
+	}
+	return 0
+}
+
+func (v *DynCounterVec) expose(w io.Writer) error {
+	if err := header(w, v.name, v.help, "counter"); err != nil {
+		return err
+	}
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.series))
+	for k := range v.series {
+		keys = append(keys, k)
+	}
+	counts := make(map[string]uint64, len(v.series))
+	for k, c := range v.series {
+		counts[k] = c.Load()
+	}
+	v.mu.Unlock()
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "%s{%s=%q} %d\n", v.name, v.label, k, counts[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // funcMetric samples a value at render time — used for gauges derived from
 // live server state (queue depth, running jobs) and for counters owned by
 // another component (the cache keeps its own hit/miss tallies).
@@ -153,6 +218,34 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
 	r.register(&funcMetric{name: name, help: help, typ: "counter",
 		fn: func() float64 { return float64(fn()) }})
+}
+
+// funcVecMetric samples one value per declared label value at render time —
+// per-tenant gauges (queue depth, running jobs) derive from live admission
+// state the same way the unlabelled gauges do.
+type funcVecMetric struct {
+	name, help, typ, label string
+	values                 []string
+	fn                     func(value string) float64
+}
+
+func (m *funcVecMetric) expose(w io.Writer) error {
+	if err := header(w, m.name, m.help, m.typ); err != nil {
+		return err
+	}
+	for _, val := range m.values {
+		if _, err := fmt.Fprintf(w, "%s{%s=%q} %s\n", m.name, m.label, val, formatFloat(m.fn(val))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GaugeVecFunc registers a labelled gauge family with a fixed value set,
+// sampled from fn at render time.
+func (r *Registry) GaugeVecFunc(name, help, label string, values []string, fn func(value string) float64) {
+	r.register(&funcVecMetric{name: name, help: help, typ: "gauge",
+		label: label, values: values, fn: fn})
 }
 
 // Histogram is a fixed-bucket histogram with the standard cumulative

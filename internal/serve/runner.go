@@ -1,0 +1,531 @@
+package serve
+
+// The durable-job runner. Stored sweeps execute in background goroutines
+// under the server's base context — not the submitting request's — so a
+// disconnected client leaves the job running and every response (the POST
+// stream and GET /v1/jobs/{id}/stream?offset=N alike) is just a tail of
+// the job's journal. The journal is deterministic: line 0 is the accepted
+// line, lines 1..reps are progress lines in strict replication order,
+// then the result line and the result payload. A resumed stream stitched
+// at any offset is therefore byte-identical to an uninterrupted one.
+//
+// Execution is segmented: each storedSegmentReps-replication slice runs
+// through scenario.RunSweepRange (or the fleet's SweepRange), its outcomes
+// are journaled, and only then do its progress lines enter the stream
+// journal. The outcomes journal is always at or ahead of the progress
+// lines, so recovery re-executes at most one segment and reconciles the
+// stream journal to the frontier before continuing.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"blackdp/internal/metrics"
+	"blackdp/internal/scenario"
+)
+
+// Cancellation causes distinguish a DELETE (terminal: the journal gets an
+// error line) from a drain (resumable: the journal is left untouched for
+// the next process).
+var (
+	errCanceledByClient = errors.New("serve: canceled by client")
+	errShutdown         = errors.New("serve: server shutting down")
+)
+
+// storedSegmentReps is the durability granularity: how many replications
+// run between journal appends. Small enough that a crash loses little,
+// large enough that journaling stays off the hot path.
+const storedSegmentReps = 8
+
+// tenantCtxKey carries the submitting tenant's name through execution so
+// the distributor can stamp it onto worker chunk requests.
+type tenantCtxKey struct{}
+
+// WithTenant returns ctx carrying the tenant name.
+func WithTenant(ctx context.Context, name string) context.Context {
+	return context.WithValue(ctx, tenantCtxKey{}, name)
+}
+
+// TenantName reports the tenant name carried by ctx ("" if none).
+func TenantName(ctx context.Context) string {
+	name, _ := ctx.Value(tenantCtxKey{}).(string)
+	return name
+}
+
+// liveStream is the in-memory mirror of one job's stream journal: the
+// replay source for every tail, with a broadcast channel so tails block
+// without polling.
+type liveStream struct {
+	mu     sync.Mutex
+	lines  [][]byte
+	closed bool
+	wake   chan struct{}
+}
+
+func newLiveStream(lines [][]byte) *liveStream {
+	return &liveStream{lines: lines, wake: make(chan struct{})}
+}
+
+func (st *liveStream) append(line []byte) {
+	st.mu.Lock()
+	st.lines = append(st.lines, line)
+	close(st.wake)
+	st.wake = make(chan struct{})
+	st.mu.Unlock()
+}
+
+func (st *liveStream) close() {
+	st.mu.Lock()
+	if !st.closed {
+		st.closed = true
+		close(st.wake)
+		st.wake = make(chan struct{})
+	}
+	st.mu.Unlock()
+}
+
+func (st *liveStream) count() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.lines)
+}
+
+// tail writes journal lines from offset onward, blocking for new lines
+// until the stream closes or the client goes away. Lines are written
+// byte-exact with a trailing newline and flushed individually, so a
+// client stitching tails at any offsets reconstructs the journal exactly.
+func (st *liveStream) tail(ctx context.Context, w http.ResponseWriter, offset int) {
+	i := offset
+	for {
+		st.mu.Lock()
+		var batch [][]byte
+		if i < len(st.lines) {
+			batch = st.lines[i:len(st.lines):len(st.lines)]
+		}
+		closed := st.closed
+		wake := st.wake
+		st.mu.Unlock()
+		for _, line := range batch {
+			if _, err := w.Write(append(append(make([]byte, 0, len(line)+1), line...), '\n')); err != nil {
+				return
+			}
+		}
+		if len(batch) > 0 {
+			if f, ok := w.(http.Flusher); ok {
+				f.Flush()
+			}
+			i += len(batch)
+			continue
+		}
+		if closed {
+			return
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-wake:
+		}
+	}
+}
+
+// storedRun is one durable job's execution state.
+type storedRun struct {
+	job      *Job
+	spec     jobSpec
+	tenant   *tenantState
+	stream   *liveStream
+	ctx      context.Context
+	cancel   context.CancelCauseFunc
+	frontier int      // replications with journaled outcomes
+	outcomes [][]byte // their outcome lines, in replication order
+}
+
+// newStoredRun wires a run's context under the server base context and
+// registers its stream for tailing.
+func (s *Server) newStoredRun(job *Job, spec jobSpec, t *tenantState, stream *liveStream, outcomes [][]byte) *storedRun {
+	run := &storedRun{job: job, spec: spec, tenant: t, stream: stream,
+		frontier: len(outcomes), outcomes: outcomes}
+	run.ctx, run.cancel = context.WithCancelCause(s.baseCtx)
+	job.bindCancel(func() { run.cancel(errCanceledByClient) })
+	s.jobsMu.Lock()
+	s.streams[job.ID] = stream
+	s.jobsMu.Unlock()
+	return run
+}
+
+func (run *storedRun) journalRaw(s *Server, line []byte) error {
+	if err := s.store.AppendStream(run.job.ID, line); err != nil {
+		return err
+	}
+	run.stream.append(line)
+	return nil
+}
+
+func (run *storedRun) journal(s *Server, l streamLine) error {
+	b, err := json.Marshal(l)
+	if err != nil {
+		return err
+	}
+	return run.journalRaw(s, b)
+}
+
+// reconcile brings the stream journal up to the outcome frontier: the
+// accepted line if the journal is empty, then any progress lines whose
+// outcomes the previous process journaled but whose stream lines it did
+// not reach before dying.
+func (run *storedRun) reconcile(s *Server) error {
+	if run.stream.count() == 0 {
+		if err := run.journal(s, streamLine{Type: "accepted", Job: run.job.ID,
+			Key: run.spec.key, Cache: "miss", Total: run.spec.reps}); err != nil {
+			return err
+		}
+	}
+	for rep := run.stream.count() - 1; rep < run.frontier; rep++ {
+		if err := run.journal(s, streamLine{Type: "progress", Job: run.job.ID,
+			Rep: rep, Done: rep + 1, Total: run.spec.reps}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runStored is the background goroutine of one durable job: journal
+// reconciliation, fair-share admission, segmented execution, terminal
+// journaling.
+func (s *Server) runStored(run *storedRun, wtr *waiter) {
+	defer s.runnersWG.Done()
+	if err := run.reconcile(s); err != nil {
+		if wtr == nil || !s.adm.cancelWait(wtr) {
+			s.adm.release(run.tenant)
+		}
+		s.finishStoredErr(run, err)
+		return
+	}
+	if wtr != nil {
+		s.queued.Add(1)
+		select {
+		case <-wtr.ready:
+			s.queued.Add(-1)
+		case <-run.ctx.Done():
+			s.queued.Add(-1)
+			if !s.adm.cancelWait(wtr) {
+				s.adm.release(run.tenant)
+			}
+			s.finishStoredErr(run, context.Cause(run.ctx))
+			return
+		}
+	}
+	run.job.setStatus(StatusRunning)
+	s.running.Add(1)
+	start := time.Now()
+	err := s.executeStored(run)
+	s.running.Add(-1)
+	s.adm.release(run.tenant)
+	if err != nil {
+		s.finishStoredErr(run, err)
+		return
+	}
+	s.finishStoredDone(run, time.Since(start))
+}
+
+// executeStored runs the remaining replications in journaled segments.
+func (s *Server) executeStored(run *storedRun) error {
+	ctx := WithTenant(run.ctx, run.tenant.cfg.Name)
+	onRep := func(int, error) { s.mReps.Inc() }
+	for run.frontier < run.spec.reps {
+		count := min(storedSegmentReps, run.spec.reps-run.frontier)
+		outcomes, err := s.sweepRange(ctx, run.spec, run.frontier, count, onRep)
+		if err != nil {
+			return err
+		}
+		lines := make([][]byte, len(outcomes))
+		for i, o := range outcomes {
+			if lines[i], err = json.Marshal(o); err != nil {
+				return err
+			}
+		}
+		if err := s.store.AppendOutcomes(run.job.ID, lines); err != nil {
+			return err
+		}
+		run.outcomes = append(run.outcomes, lines...)
+		for i := 0; i < count; i++ {
+			rep := run.frontier + i
+			if err := run.journal(s, streamLine{Type: "progress", Job: run.job.ID,
+				Rep: rep, Done: rep + 1, Total: run.spec.reps}); err != nil {
+				return err
+			}
+		}
+		run.frontier += count
+	}
+	return nil
+}
+
+// finishStoredDone rebuilds the result payload from the journaled outcomes
+// (outcome JSON round-trips exactly — the struct holds no floats), caches
+// it, and journals the terminal lines. The count checks make completion
+// idempotent across restarts: a process killed between the result line and
+// the payload line leaves a journal the next process finishes without
+// duplicating either.
+func (s *Server) finishStoredDone(run *storedRun, elapsed time.Duration) {
+	outs := make([]metrics.Outcome, len(run.outcomes))
+	for i, b := range run.outcomes {
+		if err := json.Unmarshal(b, &outs[i]); err != nil {
+			s.finishStoredErr(run, fmt.Errorf("serve: corrupt stored outcome: %w", err))
+			return
+		}
+	}
+	payload, err := json.Marshal(resultPayload{Outcomes: outs, Summary: metrics.Aggregate(outs).Report()})
+	if err != nil {
+		s.finishStoredErr(run, err)
+		return
+	}
+	s.cache.Put(run.spec.key, payload)
+	if run.stream.count() == run.spec.reps+1 {
+		if err := run.journal(s, streamLine{Type: "result", Job: run.job.ID,
+			Cache: "miss", Total: run.spec.reps}); err != nil {
+			s.finishStoredErr(run, err)
+			return
+		}
+	}
+	if run.stream.count() == run.spec.reps+2 {
+		if err := run.journalRaw(s, payload); err != nil {
+			s.finishStoredErr(run, err)
+			return
+		}
+	}
+	run.job.finish(StatusDone, "", payload, nil)
+	s.mJobs.Inc(StatusDone)
+	s.mSeconds.Observe(elapsed.Seconds())
+	run.stream.close()
+}
+
+// finishStoredErr ends a run that did not complete. A drain leaves the
+// journal untouched — the job resumes on restart; anything else (DELETE,
+// an execution error, a store write failure) is terminal and journals an
+// error line.
+func (s *Server) finishStoredErr(run *storedRun, err error) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		if c := context.Cause(run.ctx); c != nil {
+			err = c
+		}
+	}
+	if errors.Is(err, errShutdown) {
+		run.stream.close()
+		return
+	}
+	status := StatusFailed
+	if errors.Is(err, errCanceledByClient) {
+		status = StatusCanceled
+	}
+	msg := err.Error()
+	_ = run.journal(s, streamLine{Type: "error", Job: run.job.ID, Error: msg})
+	run.job.finish(status, msg, nil, nil)
+	s.mJobs.Inc(status)
+	run.stream.close()
+}
+
+// sweepRange executes [start, start+count) of a sweep: through the fleet
+// when one is configured and alive, locally otherwise. Outcomes come back
+// in replication order either way.
+func (s *Server) sweepRange(ctx context.Context, spec jobSpec, start, count int, onRep func(int, error)) ([]metrics.Outcome, error) {
+	if d := s.cfg.Distributor; d != nil {
+		outcomes, err := d.SweepRange(ctx, spec.cfg, start, count, onRep)
+		if err == nil || !errors.Is(err, ErrNoWorkers) {
+			return outcomes, err
+		}
+	}
+	pool := spec.pool
+	if pool <= 0 {
+		pool = s.cfg.SweepWorkers
+	}
+	return scenario.RunSweepRange(ctx, spec.cfg, start, count,
+		scenario.SweepOptions{Workers: pool, OnRep: onRep}, nil)
+}
+
+// specFromStored rebuilds the validated jobSpec of a recovered job.
+func specFromStored(sp StoredSpec) (jobSpec, error) {
+	cfg, err := scenario.DecodeConfig(sp.Config)
+	if err != nil {
+		return jobSpec{}, err
+	}
+	fp, err := scenario.Fingerprint(cfg)
+	if err != nil {
+		return jobSpec{}, err
+	}
+	return jobSpec{kind: sp.Kind, cfg: cfg, reps: sp.Reps, pool: sp.Pool,
+		key: fmt.Sprintf("%s/%d/%s", sp.Kind, sp.Reps, fp), rawCfg: sp.Config}, nil
+}
+
+// journalState classifies a recovered stream journal: terminal if it holds
+// an error line, or a result line followed by its payload line.
+func journalState(lines [][]byte) (terminal bool, status, errMsg string, payload []byte) {
+	for i, b := range lines {
+		var l streamLine
+		if json.Unmarshal(b, &l) != nil {
+			continue
+		}
+		switch l.Type {
+		case "error":
+			status = StatusFailed
+			if l.Error == errCanceledByClient.Error() {
+				status = StatusCanceled
+			}
+			return true, status, l.Error, nil
+		case "result":
+			if i+1 < len(lines) {
+				return true, StatusDone, "", lines[i+1]
+			}
+			// Result line without its payload: the previous process died
+			// between the two appends; completion is idempotent, resume.
+			return false, "", "", nil
+		}
+	}
+	return false, "", "", nil
+}
+
+// recoverStored reloads every stored job at startup: terminal jobs
+// reappear in the registry (done results re-enter the cache), unfinished
+// jobs re-enter admission — forced past the queue bound, restarts must
+// never drop work — and resume at their outcome frontier.
+func (s *Server) recoverStored() error {
+	stored, err := s.store.Load()
+	if err != nil {
+		return err
+	}
+	var maxSeq uint64
+	for _, sj := range stored {
+		if n := jobSeq(sj.Spec.ID); n > maxSeq {
+			maxSeq = n
+		}
+		spec, err := specFromStored(sj.Spec)
+		if err != nil {
+			return fmt.Errorf("serve: recovering %s: %w", sj.Spec.ID, err)
+		}
+		job := &Job{ID: sj.Spec.ID, Kind: spec.kind, Key: spec.key, Reps: spec.reps,
+			Tenant: sj.Spec.Tenant, status: StatusQueued, created: time.Now()}
+		job.setCache("miss")
+		s.jobsMu.Lock()
+		s.jobs[job.ID] = job
+		s.order = append(s.order, job.ID)
+		s.jobsMu.Unlock()
+		stream := newLiveStream(sj.Stream)
+		if terminal, status, errMsg, payload := journalState(sj.Stream); terminal {
+			s.jobsMu.Lock()
+			s.streams[job.ID] = stream
+			s.jobsMu.Unlock()
+			stream.close()
+			job.finish(status, errMsg, payload, nil)
+			if status == StatusDone && payload != nil {
+				s.cache.Put(spec.key, payload)
+			}
+			continue
+		}
+		t := s.adm.lookup(sj.Spec.Tenant)
+		if t == nil {
+			// The keyfile changed across the restart and this job's tenant
+			// is gone; it cannot be re-admitted fairly, so it fails loudly
+			// rather than running outside every quota.
+			s.jobsMu.Lock()
+			s.streams[job.ID] = stream
+			s.jobsMu.Unlock()
+			run := &storedRun{job: job, spec: spec, tenant: nil, stream: stream,
+				frontier: len(sj.Outcomes), outcomes: sj.Outcomes}
+			run.ctx, run.cancel = context.WithCancelCause(s.baseCtx)
+			_ = run.journal(s, streamLine{Type: "error", Job: job.ID,
+				Error: "tenant " + sj.Spec.Tenant + " is no longer configured"})
+			job.finish(StatusFailed, "tenant "+sj.Spec.Tenant+" is no longer configured", nil, nil)
+			s.mJobs.Inc(StatusFailed)
+			stream.close()
+			continue
+		}
+		run := s.newStoredRun(job, spec, t, stream, sj.Outcomes)
+		wtr, _ := s.adm.acquire(t, true)
+		s.runnersWG.Add(1)
+		go s.runStored(run, wtr)
+	}
+	for {
+		cur := s.seq.Load()
+		if cur >= maxSeq || s.seq.CompareAndSwap(cur, maxSeq) {
+			break
+		}
+	}
+	return nil
+}
+
+// submitStored admits a durable sweep: spec persisted, runner started in
+// the background, and the response is a tail of the journal from offset 0.
+// A disconnecting client stops only its tail — the job keeps running.
+func (s *Server) submitStored(w http.ResponseWriter, r *http.Request, t *tenantState, spec jobSpec) {
+	wtr, ok := s.adm.acquire(t, false)
+	if !ok {
+		s.mRejected.Inc()
+		s.mTenantRejected.Inc(t.cfg.Name)
+		WriteError(w, http.StatusTooManyRequests, "queue_full",
+			"tenant "+t.cfg.Name+" job queue is full", s.retryAfterSeconds())
+		return
+	}
+	s.mAccepted.Inc()
+	s.mTenantAccepted.Inc(t.cfg.Name)
+	job := s.newJob(spec, t.cfg.Name)
+	if err := s.store.PutSpec(StoredSpec{ID: job.ID, Kind: spec.kind, Tenant: t.cfg.Name,
+		Reps: spec.reps, Pool: spec.pool, Config: spec.rawCfg}); err != nil {
+		if wtr == nil || !s.adm.cancelWait(wtr) {
+			s.adm.release(t)
+		}
+		job.finish(StatusFailed, err.Error(), nil, nil)
+		s.mJobs.Inc(StatusFailed)
+		WriteError(w, http.StatusInternalServerError, "store_error",
+			"persisting job spec: "+err.Error(), 0)
+		return
+	}
+	job.setCache("miss")
+	run := s.newStoredRun(job, spec, t, newLiveStream(nil), nil)
+	s.runnersWG.Add(1)
+	go s.runStored(run, wtr)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Blackdp-Cache", "miss")
+	run.stream.tail(r.Context(), w, 0)
+}
+
+// handleStream is GET /v1/jobs/{id}/stream?offset=N: a byte-exact replay
+// of the job's journal from line offset N, tailing live lines until the
+// job finishes. Only durable jobs (server started with a store) have one.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.authorize(w, r)
+	if !ok {
+		return
+	}
+	id := r.PathValue("id")
+	job := s.lookup(id)
+	if job == nil || !s.visible(job, t) {
+		WriteError(w, http.StatusNotFound, "not_found", "no such job: "+id, 0)
+		return
+	}
+	s.jobsMu.Lock()
+	stream := s.streams[id]
+	s.jobsMu.Unlock()
+	if stream == nil {
+		WriteError(w, http.StatusNotFound, "no_stream",
+			"job "+id+" has no durable stream (server running without a store, or kind \"run\")", 0)
+		return
+	}
+	offset := 0
+	if v := r.URL.Query().Get("offset"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			WriteError(w, http.StatusBadRequest, "bad_request",
+				"offset must be a non-negative integer", 0)
+			return
+		}
+		offset = n
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	stream.tail(r.Context(), w, offset)
+}

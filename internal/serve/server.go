@@ -6,29 +6,42 @@
 // the canonical config hash (scenario.Fingerprint), with single-flight
 // coalescing for requests that overlap in flight.
 //
-// Endpoints (canonical paths are versioned under /v1; the unversioned
-// originals remain as aliases for existing clients):
+// The API is versioned under /v1 (the pre-/v1 aliases are retired: the
+// unversioned paths answer 410 Gone with the error envelope):
 //
 //	POST   /v1/jobs            submit a job; the response is an NDJSON stream
 //	                           of accepted/progress/result lines, the final
 //	                           line being the result payload itself
-//	GET    /v1/jobs            list retained jobs
+//	GET    /v1/jobs            list retained jobs (the caller's tenant)
 //	GET    /v1/jobs/{id}       one job's status and result
 //	DELETE /v1/jobs/{id}       cancel a queued or running job; with a fleet
 //	                           configured the cancellation fans out to every
 //	                           worker holding one of the job's chunks
+//	GET  /v1/jobs/{id}/stream  byte-exact replay of a durable job's NDJSON
+//	                           stream from ?offset=N, tailing until done
 //	GET  /v1/jobs/{id}/trace the retained event log of a trace-enabled run
 //	GET  /v1/metrics         Prometheus text exposition
 //	GET  /v1/healthz         liveness and drain state
 //
-// Error responses (400, 404, 429, 503) carry a JSON envelope
+// Every non-2xx response carries the JSON envelope
 // {"code", "message", "retry_after_seconds"}; retry_after_seconds is only
 // present when the matching Retry-After header is set (429 and 503).
 //
-// Admission control is a bounded queue: jobs beyond Workers+QueueDepth are
-// rejected with 429 and a Retry-After header, a disconnected client cancels
-// its job's context, and Drain stops admission, finishes in-flight jobs and
-// reports the final cache statistics.
+// Multi-tenancy (Config.Tenants): requests authenticate with
+// "Authorization: Bearer <key>", each tenant has a token-bucket submission
+// rate and its own bounded admission queue, and the execution slots are
+// granted round-robin across tenants — a tenant saturating its bucket or
+// queue is rejected with 429 (rate_limited / queue_full) while the others
+// keep their share. Per-tenant counters and gauges join /v1/metrics. With
+// no tenants configured the server is open and behaves as a single
+// unlimited tenant, preserving the original admission semantics.
+//
+// Durability (Config.Store): sweep jobs journal their spec, their stream
+// lines and their per-replication outcomes through a JobStore; a restarted
+// server resumes unfinished sweeps at the journaled frontier, and resumed
+// streams stitched through /stream?offset=N are byte-identical to
+// uninterrupted ones. Durable jobs run detached from the submitting
+// connection — disconnecting stops the tail, not the job.
 package serve
 
 import (
@@ -37,6 +50,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"strconv"
@@ -50,20 +64,23 @@ import (
 	"blackdp/internal/trace"
 )
 
-// Distributor executes a sweep's replication range across a fleet of
-// remote worker nodes instead of the local replication pool. The contract
-// mirrors scenario.RunSweep: outcomes come back in replication order and
-// must be byte-identical to a local run of the same canonical config (the
+// Distributor executes a contiguous slice of a sweep's replication range
+// across a fleet of remote worker nodes instead of the local replication
+// pool. The contract mirrors scenario.RunSweepRange: outcomes come back in
+// replication order for global replications [start, start+count) and must
+// be byte-identical to a local run of the same canonical config (the
 // distributed differential suite in internal/dist holds implementations to
-// it). onRep is called — serialised, but not in replication order — as
-// replication results stream back from the fleet. A Distributor that finds
-// no live workers returns an error wrapping ErrNoWorkers, which tells the
-// server to fall back to local execution rather than fail the job.
+// it). onRep is called — serialised, but not in replication order — with
+// global replication indexes as results stream back from the fleet. A
+// Distributor that finds no live workers returns an error wrapping
+// ErrNoWorkers, which tells the server to fall back to local execution
+// rather than fail the job. Implementations read the submitting tenant
+// from the context (TenantName) and stamp it onto chunk requests.
 //
 // internal/dist.Coordinator is the production implementation; it is wired
 // in through Config.Distributor by cmd/blackdp-serve's -fleet flag.
 type Distributor interface {
-	Sweep(ctx context.Context, cfg scenario.Config, reps int, onRep func(rep int, err error)) ([]metrics.Outcome, error)
+	SweepRange(ctx context.Context, cfg scenario.Config, start, count int, onRep func(rep int, err error)) ([]metrics.Outcome, error)
 }
 
 // ErrNoWorkers reports that a Distributor has no live worker to dispatch
@@ -77,9 +94,10 @@ type Config struct {
 	// Each sweep job additionally fans replications across its own
 	// internal/exp pool, so total parallelism is Workers x SweepWorkers.
 	Workers int
-	// QueueDepth is how many admitted jobs may wait for a worker before
-	// admission control starts rejecting with 429 (default 16; negative
-	// means no queue at all — reject unless a worker is free).
+	// QueueDepth is how many admitted jobs may wait for a worker — per
+	// tenant — before admission control starts rejecting that tenant with
+	// 429 (default 16; negative means no queue at all — reject unless a
+	// worker is free).
 	QueueDepth int
 	// CacheEntries bounds the result cache (default 128 completed entries).
 	CacheEntries int
@@ -92,6 +110,13 @@ type Config struct {
 	RetainJobs int
 	// RetryAfter is advertised on 429/503 responses (default 1s).
 	RetryAfter time.Duration
+	// Tenants declares the API keys. Empty means an open server: no
+	// authentication, one unlimited anonymous tenant.
+	Tenants []Tenant
+	// Store, when non-nil, makes sweep jobs durable: specs and journals
+	// persist through it and unfinished sweeps resume on restart. Runs and
+	// trace jobs stay in-memory (a trace log is not journalable).
+	Store JobStore
 	// Distributor, when non-nil, fans sweep jobs out across a worker fleet
 	// (see the Distributor interface). Runs and trace jobs always execute
 	// locally. If the distributor additionally implements
@@ -135,43 +160,62 @@ type Server struct {
 	reg   *Registry
 	mux   *http.ServeMux
 	http  *http.Server
+	adm   *admission
+	store JobStore
 
-	admSlots chan struct{} // admission: Workers+QueueDepth
-	runSlots chan struct{} // execution: Workers
+	// baseCtx parents every durable job's execution context so Drain can
+	// interrupt them resumably; request-bound jobs keep their request
+	// contexts.
+	baseCtx    context.Context
+	baseCancel context.CancelCauseFunc
+	runnersWG  sync.WaitGroup
+
 	queued   atomic.Int64
 	running  atomic.Int64
 	draining atomic.Bool
 
-	seq    atomic.Uint64
-	jobsMu sync.Mutex
-	jobs   map[string]*Job
-	order  []string
+	seq     atomic.Uint64
+	jobsMu  sync.Mutex
+	jobs    map[string]*Job
+	order   []string
+	streams map[string]*liveStream // durable jobs' journals, for tailing
 
-	mAccepted *Counter
-	mRejected *Counter
-	mJobs     *CounterVec
-	mReps     *Counter
-	mSeconds  *Histogram
+	mAccepted       *Counter
+	mRejected       *Counter
+	mJobs           *CounterVec
+	mReps           *Counter
+	mSeconds        *Histogram
+	mTenantAccepted *CounterVec
+	mTenantRejected *CounterVec
+	mTenantRate     *CounterVec
 }
 
-// New builds a server with cfg (zero fields take defaults).
-func New(cfg Config) *Server {
+// New builds a server with cfg (zero fields take defaults). It fails on an
+// invalid tenant set or an unreadable job store; with a store configured,
+// unfinished stored sweeps resume executing before New returns.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	s := &Server{
-		cfg:      cfg,
-		cache:    NewCache(cfg.CacheEntries),
-		reg:      &Registry{},
-		mux:      http.NewServeMux(),
-		admSlots: make(chan struct{}, cfg.Workers+cfg.QueueDepth),
-		runSlots: make(chan struct{}, cfg.Workers),
-		jobs:     make(map[string]*Job),
+	adm, err := newAdmission(cfg.Workers, cfg.QueueDepth, cfg.Tenants)
+	if err != nil {
+		return nil, err
 	}
+	s := &Server{
+		cfg:     cfg,
+		cache:   NewCache(cfg.CacheEntries),
+		reg:     &Registry{},
+		mux:     http.NewServeMux(),
+		adm:     adm,
+		store:   cfg.Store,
+		jobs:    make(map[string]*Job),
+		streams: make(map[string]*liveStream),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancelCause(context.Background())
 	s.http = &http.Server{Handler: s.mux}
 
 	s.mAccepted = s.reg.Counter("blackdp_serve_jobs_accepted_total",
 		"Jobs admitted, including ones answered from the cache.")
 	s.mRejected = s.reg.Counter("blackdp_serve_jobs_rejected_total",
-		"Jobs rejected with 429 by admission control.")
+		"Jobs rejected with 429 by admission control or rate limiting.")
 	s.mJobs = s.reg.CounterVec("blackdp_serve_jobs_total",
 		"Executed jobs by final status.", "status", StatusDone, StatusFailed, StatusCanceled)
 	s.mReps = s.reg.Counter("blackdp_serve_reps_completed_total",
@@ -197,6 +241,20 @@ func New(cfg Config) *Server {
 	s.mSeconds = s.reg.Histogram("blackdp_serve_job_seconds",
 		"Wall time per executed job.", 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60)
 
+	names := adm.names()
+	s.mTenantAccepted = s.reg.CounterVec("blackdp_serve_tenant_jobs_accepted_total",
+		"Jobs admitted per tenant.", "tenant", names...)
+	s.mTenantRejected = s.reg.CounterVec("blackdp_serve_tenant_jobs_rejected_total",
+		"Jobs rejected per tenant by the admission queue bound.", "tenant", names...)
+	s.mTenantRate = s.reg.CounterVec("blackdp_serve_tenant_rate_limited_total",
+		"Jobs rejected per tenant by the token-bucket rate limit.", "tenant", names...)
+	s.reg.GaugeVecFunc("blackdp_serve_tenant_queued",
+		"Jobs waiting for a worker per tenant.", "tenant", names,
+		func(name string) float64 { return float64(s.adm.queued(name)) })
+	s.reg.GaugeVecFunc("blackdp_serve_tenant_running",
+		"Jobs executing per tenant.", "tenant", names,
+		func(name string) float64 { return float64(s.adm.running(name)) })
+
 	// A distributor that carries its own instruments (the dist coordinator's
 	// fabric gauges and counters) exposes them through the same registry, so
 	// one /metrics scrape covers the whole fabric.
@@ -204,20 +262,36 @@ func New(cfg Config) *Server {
 		mr.RegisterMetrics(s.reg)
 	}
 
-	// Canonical routes live under /v1; the unversioned paths predate the
-	// versioned API and stay registered as aliases so existing clients and
-	// scripts keep working. Both prefixes resolve to the same handlers, so
-	// behaviour (and the job registry) is shared, not forked.
-	for _, prefix := range []string{"/v1", ""} {
-		s.mux.HandleFunc("POST "+prefix+"/jobs", s.handleSubmit)
-		s.mux.HandleFunc("GET "+prefix+"/jobs", s.handleList)
-		s.mux.HandleFunc("GET "+prefix+"/jobs/{id}", s.handleJob)
-		s.mux.HandleFunc("DELETE "+prefix+"/jobs/{id}", s.handleCancel)
-		s.mux.HandleFunc("GET "+prefix+"/jobs/{id}/trace", s.handleTrace)
-		s.mux.HandleFunc("GET "+prefix+"/metrics", s.handleMetrics)
-		s.mux.HandleFunc("GET "+prefix+"/healthz", s.handleHealth)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	// The pre-/v1 aliases are retired: a typed 410 tells old clients where
+	// the API went, and everything else unmatched gets an enveloped 404.
+	for _, p := range []string{"/jobs", "/jobs/", "/metrics", "/healthz"} {
+		s.mux.HandleFunc(p, handleGone)
 	}
-	return s
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		WriteError(w, http.StatusNotFound, "not_found", "no such route: "+r.URL.Path, 0)
+	})
+
+	if s.store != nil {
+		if err := s.recoverStored(); err != nil {
+			s.baseCancel(errShutdown)
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// handleGone answers a retired unversioned route.
+func handleGone(w http.ResponseWriter, r *http.Request) {
+	WriteError(w, http.StatusGone, "gone",
+		"the unversioned API is retired; use /v1"+r.URL.Path, 0)
 }
 
 // Handler exposes the service mux (for tests and embedding).
@@ -232,12 +306,23 @@ func (s *Server) SetHandler(h http.Handler) { s.http.Handler = h }
 // http.ErrServerClosed after a clean drain, like net/http.
 func (s *Server) Serve(l net.Listener) error { return s.http.Serve(l) }
 
-// Drain stops admission (new submissions get 503), waits for in-flight
-// requests — running jobs and their streams included — and returns the
-// final cache statistics for the shutdown log.
+// Drain stops admission (new submissions get 503), interrupts durable jobs
+// resumably (their journals are left for the next process), waits for
+// in-flight requests, and returns the final cache statistics for the
+// shutdown log.
 func (s *Server) Drain(ctx context.Context) (CacheStats, error) {
 	s.draining.Store(true)
+	s.baseCancel(errShutdown)
+	runnersDone := make(chan struct{})
+	go func() { s.runnersWG.Wait(); close(runnersDone) }()
+	select {
+	case <-runnersDone:
+	case <-ctx.Done():
+	}
 	err := s.http.Shutdown(ctx)
+	if c, ok := s.store.(io.Closer); ok {
+		_ = c.Close()
+	}
 	return s.cache.Stats(), err
 }
 
@@ -306,10 +391,34 @@ type streamLine struct {
 	Error     string `json:"error,omitempty"`
 }
 
+// authorize resolves the request's tenant, answering 401 with the envelope
+// when keys are configured and the bearer token is missing or unknown.
+func (s *Server) authorize(w http.ResponseWriter, r *http.Request) (*tenantState, bool) {
+	t := s.adm.authenticate(r.Header.Get("Authorization"))
+	if t == nil {
+		w.Header().Set("WWW-Authenticate", `Bearer realm="blackdp"`)
+		WriteError(w, http.StatusUnauthorized, "unauthorized",
+			"missing or unknown API key", 0)
+		return nil, false
+	}
+	return t, true
+}
+
+// visible reports whether t may see job. Tenants only see their own jobs
+// (an open server has a single tenant, so everything is visible); unknown
+// jobs and other tenants' jobs are indistinguishable — both 404.
+func (s *Server) visible(job *Job, t *tenantState) bool {
+	return s.adm.open || job.Tenant == t.cfg.Name
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		WriteError(w, http.StatusServiceUnavailable, "draining",
 			"server is draining and not accepting jobs", s.retryAfterSeconds())
+		return
+	}
+	t, ok := s.authorize(w, r)
+	if !ok {
 		return
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
@@ -322,6 +431,27 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		WriteError(w, http.StatusBadRequest, "bad_request", err.Error(), 0)
 		return
 	}
+	// The rate limit charges every submission — cache hits included — at
+	// the door: it bounds request pressure, not compute.
+	if ok, wait := s.adm.takeToken(t, time.Now()); !ok {
+		s.mRejected.Inc()
+		s.mTenantRate.Inc(t.cfg.Name)
+		retry := int(math.Ceil(wait.Seconds()))
+		if retry < 1 {
+			retry = 1
+		}
+		WriteError(w, http.StatusTooManyRequests, "rate_limited",
+			"tenant "+t.cfg.Name+" is over its submission rate", retry)
+		return
+	}
+
+	// Durable sweeps detach from the connection and journal through the
+	// store; runs and trace jobs keep the request-bound in-memory path.
+	if s.store != nil && spec.kind == "sweep" && !spec.trace {
+		s.submitStored(w, r, t, spec)
+		return
+	}
+
 	// A job's execution context cancels two ways: the submitting client
 	// disconnecting (r.Context) or DELETE /v1/jobs/{id} from any other
 	// connection (the cancel func bound to the job record).
@@ -335,26 +465,26 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		var leader bool
 		entry, leader = s.cache.Begin(spec.key)
 		if !leader {
-			s.serveCached(ctx, cancelJob, w, spec, entry)
+			s.serveCached(ctx, cancelJob, w, t, spec, entry)
 			return
 		}
 	}
 
-	// Admission control: reserve a queue slot or reject immediately.
-	select {
-	case s.admSlots <- struct{}{}:
-	default:
+	// Admission: claim a slot or a place in this tenant's queue.
+	wtr, admitted := s.adm.acquire(t, false)
+	if !admitted {
 		if entry != nil {
 			s.cache.Abort(entry, errors.New("serve: rejected by admission control"))
 		}
 		s.mRejected.Inc()
+		s.mTenantRejected.Inc(t.cfg.Name)
 		WriteError(w, http.StatusTooManyRequests, "queue_full",
 			"job queue is full", s.retryAfterSeconds())
 		return
 	}
-	defer func() { <-s.admSlots }()
 	s.mAccepted.Inc()
-	job := s.newJob(spec)
+	s.mTenantAccepted.Inc(t.cfg.Name)
+	job := s.newJob(spec, t.cfg.Name)
 	job.bindCancel(cancelJob)
 	job.setCache("miss")
 
@@ -362,23 +492,28 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Blackdp-Cache", "miss")
 	_ = writeJSONLine(w, streamLine{Type: "accepted", Job: job.ID, Key: spec.key, Cache: "miss", Total: spec.reps})
 
-	// Wait for a worker; a disconnected client releases its slot and
+	// Wait for a slot grant; a disconnected client leaves the queue and
 	// withdraws the in-flight cache entry so the next request leads.
-	s.queued.Add(1)
-	select {
-	case s.runSlots <- struct{}{}:
-	case <-ctx.Done():
-		s.queued.Add(-1)
-		if entry != nil {
-			s.cache.Abort(entry, ctx.Err())
+	if wtr != nil {
+		s.queued.Add(1)
+		select {
+		case <-wtr.ready:
+			s.queued.Add(-1)
+		case <-ctx.Done():
+			s.queued.Add(-1)
+			if !s.adm.cancelWait(wtr) {
+				s.adm.release(t)
+			}
+			if entry != nil {
+				s.cache.Abort(entry, ctx.Err())
+			}
+			job.finish(StatusCanceled, ctx.Err().Error(), nil, nil)
+			s.mJobs.Inc(StatusCanceled)
+			return
 		}
-		job.finish(StatusCanceled, ctx.Err().Error(), nil, nil)
-		s.mJobs.Inc(StatusCanceled)
-		return
 	}
-	s.queued.Add(-1)
 	s.running.Add(1)
-	defer func() { s.running.Add(-1); <-s.runSlots }()
+	defer func() { s.running.Add(-1); s.adm.release(t) }()
 
 	job.setStatus(StatusRunning)
 	start := time.Now()
@@ -408,7 +543,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	outcomes, log, err := s.execute(ctx, spec, onRep)
+	outcomes, log, err := s.execute(WithTenant(ctx, t.cfg.Name), spec, onRep)
 	close(lines)
 	<-writerDone
 	elapsed := time.Since(start)
@@ -454,9 +589,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 // serveCached answers a request whose key is already cached or in flight.
-func (s *Server) serveCached(ctx context.Context, cancel context.CancelFunc, w http.ResponseWriter, spec jobSpec, entry *Entry) {
+func (s *Server) serveCached(ctx context.Context, cancel context.CancelFunc, w http.ResponseWriter, t *tenantState, spec jobSpec, entry *Entry) {
 	s.mAccepted.Inc()
-	job := s.newJob(spec)
+	s.mTenantAccepted.Inc(t.cfg.Name)
+	job := s.newJob(spec, t.cfg.Name)
 	job.bindCancel(cancel)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Blackdp-Cache", "hit")
@@ -504,31 +640,17 @@ func (s *Server) execute(ctx context.Context, spec jobSpec, onRep func(int, erro
 		}
 		return []metrics.Outcome{o}, log, nil
 	default: // "sweep", validated upstream
-		// A configured fleet takes the sweep first; a fleet with no live
-		// worker (ErrNoWorkers) degrades to local execution so a dead
-		// testnet never turns into failed jobs. Any other fleet error is
-		// the job's error — the chunks already retried inside Sweep.
-		if d := s.cfg.Distributor; d != nil {
-			outcomes, err := d.Sweep(ctx, spec.cfg, spec.reps, onRep)
-			if err == nil || !errors.Is(err, ErrNoWorkers) {
-				return outcomes, nil, err
-			}
-		}
-		pool := spec.pool
-		if pool <= 0 {
-			pool = s.cfg.SweepWorkers
-		}
-		outcomes, err := scenario.RunSweep(ctx, spec.cfg, spec.reps,
-			scenario.SweepOptions{Workers: pool, OnRep: onRep}, nil)
+		outcomes, err := s.sweepRange(ctx, spec, 0, spec.reps, onRep)
 		return outcomes, nil, err
 	}
 }
 
 // newJob registers a retained job record, evicting the oldest finished jobs
-// beyond the retention bound.
-func (s *Server) newJob(spec jobSpec) *Job {
+// beyond the retention bound (evicted durable jobs drop their journals and
+// store artifacts with them).
+func (s *Server) newJob(spec jobSpec, tenant string) *Job {
 	j := &Job{ID: fmt.Sprintf("j-%d", s.seq.Add(1)), Kind: spec.kind, Key: spec.key,
-		Reps: spec.reps, status: StatusQueued, created: time.Now()}
+		Reps: spec.reps, Tenant: tenant, status: StatusQueued, created: time.Now()}
 	s.jobsMu.Lock()
 	defer s.jobsMu.Unlock()
 	s.jobs[j.ID] = j
@@ -538,7 +660,11 @@ func (s *Server) newJob(spec jobSpec) *Job {
 		for i, id := range s.order {
 			if s.jobs[id].done() {
 				delete(s.jobs, id)
+				delete(s.streams, id)
 				s.order = append(s.order[:i], s.order[i+1:]...)
+				if s.store != nil {
+					_ = s.store.Remove(id)
+				}
 				evicted = true
 				break
 			}
@@ -556,11 +682,17 @@ func (s *Server) lookup(id string) *Job {
 	return s.jobs[id]
 }
 
-func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.authorize(w, r)
+	if !ok {
+		return
+	}
 	s.jobsMu.Lock()
 	views := make([]jobView, 0, len(s.order))
 	for _, id := range s.order {
-		views = append(views, s.jobs[id].view(false))
+		if s.visible(s.jobs[id], t) {
+			views = append(views, s.jobs[id].view(false))
+		}
 	}
 	s.jobsMu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
@@ -570,8 +702,12 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.authorize(w, r)
+	if !ok {
+		return
+	}
 	job := s.lookup(r.PathValue("id"))
-	if job == nil {
+	if job == nil || !s.visible(job, t) {
 		WriteError(w, http.StatusNotFound, "not_found", "no such job: "+r.PathValue("id"), 0)
 		return
 	}
@@ -584,10 +720,15 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 // end-to-end — the coordinator's in-flight chunk requests are ctx-bound
 // HTTP calls, so cancelling the job aborts them, and each worker's chunk
 // context is its request context, so the aborted connections stop the
-// remote replication pools too.
+// remote replication pools too. Cancelling a durable job is terminal: its
+// journal ends with an error line and it does not resume on restart.
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.authorize(w, r)
+	if !ok {
+		return
+	}
 	job := s.lookup(r.PathValue("id"))
-	if job == nil {
+	if job == nil || !s.visible(job, t) {
 		WriteError(w, http.StatusNotFound, "not_found", "no such job: "+r.PathValue("id"), 0)
 		return
 	}
@@ -605,8 +746,12 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.authorize(w, r)
+	if !ok {
+		return
+	}
 	job := s.lookup(r.PathValue("id"))
-	if job == nil {
+	if job == nil || !s.visible(job, t) {
 		WriteError(w, http.StatusNotFound, "not_found", "no such job: "+r.PathValue("id"), 0)
 		return
 	}

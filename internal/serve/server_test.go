@@ -27,11 +27,21 @@ func sweepBody(seed int64, reps int) string {
 	return fmt.Sprintf(`{"kind":"sweep","reps":%d,"config":%s}`, reps, tinyWorld(seed))
 }
 
+// mustNew builds a server, failing the test on a config error.
+func mustNew(tb testing.TB, cfg Config) *Server {
+	tb.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
+
 // post submits a job and returns the status, the cache header and the
 // response body split into NDJSON lines.
 func post(t *testing.T, ts *httptest.Server, body string) (int, string, []string) {
 	t.Helper()
-	resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(body))
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +66,7 @@ func get(t *testing.T, url string) (int, string) {
 }
 
 func TestSubmitRunSecondPostIsByteIdenticalCacheHit(t *testing.T) {
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -94,7 +104,7 @@ func TestSubmitRunSecondPostIsByteIdenticalCacheHit(t *testing.T) {
 	}
 
 	// /metrics reflects exactly one miss and one hit.
-	_, metricsOut := get(t, ts.URL+"/metrics")
+	_, metricsOut := get(t, ts.URL+"/v1/metrics")
 	for _, want := range []string{
 		"blackdp_serve_cache_misses_total 1",
 		"blackdp_serve_cache_hits_total 1",
@@ -107,7 +117,7 @@ func TestSubmitRunSecondPostIsByteIdenticalCacheHit(t *testing.T) {
 }
 
 func TestSweepStreamsProgressAndAggregates(t *testing.T) {
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -139,7 +149,7 @@ func TestSweepStreamsProgressAndAggregates(t *testing.T) {
 }
 
 func TestConcurrentIdenticalRequestsCoalesce(t *testing.T) {
-	s := New(Config{Workers: 4})
+	s := mustNew(t, Config{Workers: 4})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -150,7 +160,7 @@ func TestConcurrentIdenticalRequestsCoalesce(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(runBody(11)))
+			resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(runBody(11)))
 			if err != nil {
 				return
 			}
@@ -174,7 +184,7 @@ func TestConcurrentIdenticalRequestsCoalesce(t *testing.T) {
 func TestAdmissionControlRejectsWith429(t *testing.T) {
 	// One worker, no queue: while a long sweep holds the worker, any new
 	// job must bounce with 429 and a Retry-After hint.
-	s := New(Config{Workers: 1, QueueDepth: -1})
+	s := mustNew(t, Config{Workers: 1, QueueDepth: -1})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -182,7 +192,7 @@ func TestAdmissionControlRejectsWith429(t *testing.T) {
 	finished := make(chan struct{})
 	go func() {
 		defer close(finished)
-		resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(sweepBody(5, 64)))
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(sweepBody(5, 64)))
 		if err != nil {
 			return
 		}
@@ -194,7 +204,7 @@ func TestAdmissionControlRejectsWith429(t *testing.T) {
 	}()
 	<-started
 
-	resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(runBody(99)))
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(runBody(99)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +217,7 @@ func TestAdmissionControlRejectsWith429(t *testing.T) {
 	}
 	<-finished
 
-	_, metricsOut := get(t, ts.URL+"/metrics")
+	_, metricsOut := get(t, ts.URL+"/v1/metrics")
 	if !strings.Contains(metricsOut, "blackdp_serve_jobs_rejected_total 1") {
 		t.Errorf("rejection not counted:\n%s", metricsOut)
 	}
@@ -220,7 +230,7 @@ func TestAdmissionControlRejectsWith429(t *testing.T) {
 }
 
 func TestTraceEndpoint(t *testing.T) {
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -238,7 +248,7 @@ func TestTraceEndpoint(t *testing.T) {
 	if err := json.Unmarshal([]byte(lines[0]), &accepted); err != nil {
 		t.Fatal(err)
 	}
-	code, traceOut := get(t, ts.URL+"/jobs/"+accepted.Job+"/trace")
+	code, traceOut := get(t, ts.URL+"/v1/jobs/"+accepted.Job+"/trace")
 	if code != 200 {
 		t.Fatalf("trace status %d", code)
 	}
@@ -261,13 +271,13 @@ func TestTraceEndpoint(t *testing.T) {
 		Job string `json:"job"`
 	}
 	_ = json.Unmarshal([]byte(lines2[0]), &accepted2)
-	if code, _ := get(t, ts.URL+"/jobs/"+accepted2.Job+"/trace"); code != 404 {
+	if code, _ := get(t, ts.URL+"/v1/jobs/"+accepted2.Job+"/trace"); code != 404 {
 		t.Errorf("trace of untraced job: status %d, want 404", code)
 	}
 }
 
 func TestJobEndpoints(t *testing.T) {
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -279,7 +289,7 @@ func TestJobEndpoints(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	code, body := get(t, ts.URL+"/jobs/"+accepted.Job)
+	code, body := get(t, ts.URL+"/v1/jobs/"+accepted.Job)
 	if code != 200 {
 		t.Fatalf("job status %d", code)
 	}
@@ -295,17 +305,17 @@ func TestJobEndpoints(t *testing.T) {
 		t.Fatalf("job view = %s", body)
 	}
 
-	code, body = get(t, ts.URL+"/jobs")
+	code, body = get(t, ts.URL+"/v1/jobs")
 	if code != 200 || !strings.Contains(body, accepted.Job) {
 		t.Fatalf("list missing job: %s", body)
 	}
-	if code, _ := get(t, ts.URL+"/jobs/j-999"); code != 404 {
+	if code, _ := get(t, ts.URL+"/v1/jobs/j-999"); code != 404 {
 		t.Errorf("unknown job: status %d, want 404", code)
 	}
 }
 
 func TestBadRequests(t *testing.T) {
-	s := New(Config{MaxReps: 10})
+	s := mustNew(t, Config{MaxReps: 10})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -325,7 +335,7 @@ func TestBadRequests(t *testing.T) {
 }
 
 func TestDrainRejectsNewJobs(t *testing.T) {
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -339,7 +349,7 @@ func TestDrainRejectsNewJobs(t *testing.T) {
 	if stats.Misses != 1 {
 		t.Fatalf("drain stats = %+v", stats)
 	}
-	resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(runBody(32)))
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(runBody(32)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -347,16 +357,16 @@ func TestDrainRejectsNewJobs(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("post-drain status %d, want 503", resp.StatusCode)
 	}
-	if code, body := get(t, ts.URL+"/healthz"); code != 200 || !strings.Contains(body, "draining") {
+	if code, body := get(t, ts.URL+"/v1/healthz"); code != 200 || !strings.Contains(body, "draining") {
 		t.Errorf("healthz after drain: %d %s", code, body)
 	}
 }
 
-// TestV1RoutesAliasLegacyPaths checks the versioned /v1 routes and the
-// unversioned originals hit the same handlers and share one job registry:
-// a job submitted on /v1/jobs is visible on /jobs and vice versa.
-func TestV1RoutesAliasLegacyPaths(t *testing.T) {
-	s := New(Config{})
+// TestLegacyRoutesAreGone checks the retirement of the unversioned routes:
+// every pre-/v1 path answers 410 with the typed "gone" envelope pointing at
+// its /v1 replacement, while the /v1 surface itself serves normally.
+func TestLegacyRoutesAreGone(t *testing.T) {
+	s := mustNew(t, Config{})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -374,105 +384,139 @@ func TestV1RoutesAliasLegacyPaths(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	for _, path := range []string{"/jobs/", "/v1/jobs/"} {
-		if code, body := get(t, ts.URL+path+accepted.Job); code != 200 {
-			t.Errorf("GET %s%s = %d: %s", path, accepted.Job, code, body)
+	for _, path := range []string{"/jobs", "/jobs/" + accepted.Job, "/metrics", "/healthz"} {
+		code, body := get(t, ts.URL+path)
+		if code != http.StatusGone {
+			t.Errorf("GET %s = %d, want 410: %s", path, code, body)
+			continue
+		}
+		var e APIError
+		if err := json.Unmarshal([]byte(body), &e); err != nil || e.Code != "gone" || !strings.Contains(e.Message, "/v1") {
+			t.Errorf("GET %s envelope = %s (err %v)", path, body, err)
 		}
 	}
-	for _, path := range []string{"/v1/jobs", "/v1/metrics", "/v1/healthz"} {
+	if resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(runBody(3))); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusGone {
+			t.Errorf("POST /jobs = %d, want 410", resp.StatusCode)
+		}
+	}
+	for _, path := range []string{"/v1/jobs", "/v1/jobs/" + accepted.Job, "/v1/metrics", "/v1/healthz"} {
 		if code, body := get(t, ts.URL+path); code != 200 {
 			t.Errorf("GET %s = %d: %s", path, code, body)
 		}
 	}
 }
 
-// TestErrorEnvelope pins the typed JSON error contract: 400/404/429/503 all
+// TestErrorEnvelope pins the typed JSON error contract, table-driven over
+// every status the API speaks: 400, 401, 404, 409, 410, 429 and 503 all
 // answer with {"code","message","retry_after_seconds"}, the retry hint
 // appearing exactly when the Retry-After header does.
 func TestErrorEnvelope(t *testing.T) {
-	s := New(Config{Workers: 1, QueueDepth: -1})
+	s := mustNew(t, Config{Workers: 1, QueueDepth: -1})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	decode := func(t *testing.T, body string) APIError {
-		t.Helper()
-		var e APIError
-		if err := json.Unmarshal([]byte(body), &e); err != nil {
-			t.Fatalf("error body is not the JSON envelope: %q (%v)", body, err)
-		}
-		return e
+	// A second, tenant-gated server for the 401 case.
+	auth := mustNew(t, Config{Tenants: []Tenant{{Name: "a", Key: "secret"}}})
+	authTS := httptest.NewServer(auth.Handler())
+	defer authTS.Close()
+
+	// A finished job for the 409 case.
+	_, _, lines := post(t, ts, runBody(900))
+	var doneJob streamLine
+	if err := json.Unmarshal([]byte(lines[0]), &doneJob); err != nil {
+		t.Fatal(err)
 	}
 
-	t.Run("bad request", func(t *testing.T) {
-		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader("{"))
+	// The 429 case: a long sweep holds the single worker while the probe
+	// POST bounces.
+	started := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(sweepBody(901, 64)))
+		if err != nil {
+			return
+		}
+		defer resp.Body.Close()
+		buf := make([]byte, 1)
+		_, _ = resp.Body.Read(buf) // first byte of the accepted line: admitted
+		close(started)
+		_, _ = io.Copy(io.Discard, resp.Body)
+	}()
+	<-started
+
+	do := func(t *testing.T, method, url, body string) *http.Response {
+		t.Helper()
+		var rd io.Reader
+		if body != "" {
+			rd = strings.NewReader(body)
+		}
+		req, err := http.NewRequest(method, url, rd)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, _ := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		e := decode(t, string(b))
-		if resp.StatusCode != http.StatusBadRequest || e.Code != "bad_request" || e.Message == "" {
-			t.Errorf("bad request: status %d envelope %+v", resp.StatusCode, e)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
 		}
-		if e.RetryAfterSeconds != 0 {
-			t.Errorf("400 carried retry_after_seconds = %d", e.RetryAfterSeconds)
-		}
-	})
+		return resp
+	}
 
-	t.Run("not found", func(t *testing.T) {
-		code, body := get(t, ts.URL+"/v1/jobs/j-missing")
-		e := decode(t, body)
-		if code != http.StatusNotFound || e.Code != "not_found" {
-			t.Errorf("missing job: status %d envelope %+v", code, e)
-		}
-	})
-
-	t.Run("queue full", func(t *testing.T) {
-		// One worker, no queue: a long sweep holds the worker while the
-		// second POST bounces (same shape as the admission-control test).
-		started := make(chan struct{})
-		finished := make(chan struct{})
-		go func() {
-			defer close(finished)
-			resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(sweepBody(900, 64)))
-			if err != nil {
-				return
-			}
+	cases := []struct {
+		name       string
+		method     string
+		url        string
+		body       string
+		wantStatus int
+		wantCode   string
+		wantRetry  bool // retry_after_seconds >= 1 and Retry-After header set
+	}{
+		{"400 bad request", "POST", ts.URL + "/v1/jobs", "{", http.StatusBadRequest, "bad_request", false},
+		{"401 unauthorized", "POST", authTS.URL + "/v1/jobs", runBody(1), http.StatusUnauthorized, "unauthorized", false},
+		{"404 not found", "GET", ts.URL + "/v1/jobs/j-missing", "", http.StatusNotFound, "not_found", false},
+		{"409 already finished", "DELETE", ts.URL + "/v1/jobs/" + doneJob.Job, "", http.StatusConflict, "already_finished", false},
+		{"410 gone", "GET", ts.URL + "/metrics", "", http.StatusGone, "gone", false},
+		{"429 queue full", "POST", ts.URL + "/v1/jobs", runBody(902), http.StatusTooManyRequests, "queue_full", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := do(t, tc.method, tc.url, tc.body)
 			defer resp.Body.Close()
-			buf := make([]byte, 1)
-			_, _ = resp.Body.Read(buf) // first byte of the accepted line: admitted
-			close(started)
-			_, _ = io.Copy(io.Discard, resp.Body)
-		}()
-		<-started
-		defer func() { <-finished }()
+			b, _ := io.ReadAll(resp.Body)
+			var e APIError
+			if err := json.Unmarshal(b, &e); err != nil {
+				t.Fatalf("error body is not the JSON envelope: %q (%v)", b, err)
+			}
+			if resp.StatusCode != tc.wantStatus || e.Code != tc.wantCode || e.Message == "" {
+				t.Errorf("status %d envelope %+v; want %d %q", resp.StatusCode, e, tc.wantStatus, tc.wantCode)
+			}
+			hasHeader := resp.Header.Get("Retry-After") != ""
+			if tc.wantRetry && (e.RetryAfterSeconds < 1 || !hasHeader) {
+				t.Errorf("envelope %+v header %q: retry hint missing", e, resp.Header.Get("Retry-After"))
+			}
+			if !tc.wantRetry && (e.RetryAfterSeconds != 0 || hasHeader) {
+				t.Errorf("envelope %+v carried an unexpected retry hint", e)
+			}
+		})
+	}
 
-		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(runBody(901)))
-		if err != nil {
-			t.Fatal(err)
-		}
-		b, _ := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		e := decode(t, string(b))
-		if resp.StatusCode != http.StatusTooManyRequests || e.Code != "queue_full" {
-			t.Fatalf("queue full: status %d envelope %+v", resp.StatusCode, e)
-		}
-		if e.RetryAfterSeconds < 1 || resp.Header.Get("Retry-After") == "" {
-			t.Errorf("429 envelope %+v header %q: retry hint missing", e, resp.Header.Get("Retry-After"))
-		}
-	})
-
-	t.Run("draining", func(t *testing.T) {
+	// 503 last: draining is terminal for this server.
+	t.Run("503 draining", func(t *testing.T) {
+		<-finished
 		if _, err := s.Drain(context.Background()); err != nil {
 			t.Fatal(err)
 		}
-		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(runBody(902)))
-		if err != nil {
-			t.Fatal(err)
-		}
+		resp := do(t, "POST", ts.URL+"/v1/jobs", runBody(903))
+		defer resp.Body.Close()
 		b, _ := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		e := decode(t, string(b))
+		var e APIError
+		if err := json.Unmarshal(b, &e); err != nil {
+			t.Fatalf("error body is not the JSON envelope: %q (%v)", b, err)
+		}
 		if resp.StatusCode != http.StatusServiceUnavailable || e.Code != "draining" || e.RetryAfterSeconds < 1 {
 			t.Errorf("draining: status %d envelope %+v", resp.StatusCode, e)
 		}
@@ -484,7 +528,7 @@ func TestErrorEnvelope(t *testing.T) {
 // entry, the legacy RealCrypto boolean collapses onto its scheme name, and
 // the byte-invisible verification-cache toggle never splits one.
 func TestCryptoSchemeSeparatesCacheEntries(t *testing.T) {
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 

@@ -75,7 +75,16 @@ write_file() { # write_file <out> <entries...>
 
 serve_raw="$(go test ./internal/serve -run '^$' -bench . -benchtime "$benchtime" -benchmem -count="$count")"
 echo "$serve_raw"
-write_file BENCH_serve.json "$(echo "$serve_raw" | entries)"
+
+# The load harness soaks a whole in-process multi-tenant server — hundreds
+# of closed-loop clients, one tenant saturating its quota — and reports
+# end-to-end job latency percentiles plus the fairness skew as
+# benchmark-schema entries (BENCHJSON lines), merged into BENCH_serve.json
+# next to the micro-benchmarks. LOAD_CLIENTS scales the fleet.
+load_raw="$(go run ./cmd/blackdp-load -bench -clients "${LOAD_CLIENTS:-200}" -jobs 2 -reps 2 -tenants 3 -saturate)"
+echo "$load_raw" | grep -v '^BENCHJSON'
+load_entries="$(echo "$load_raw" | sed -n 's/^BENCHJSON //p')"
+write_file BENCH_serve.json "$(echo "$serve_raw" | entries)," "$load_entries"
 
 # The sweep fabric: sub-job dispatch overhead (cold and chunk-cached),
 # coordinator merge throughput, and the local-vs-1/2/4-worker sweep curve.
